@@ -1,0 +1,50 @@
+// Ablation A1: collaborative vs. serialized propagation.
+// Quancurrent's §5.5 attributes FCDS's poor scaling to its single
+// propagation thread.  This ablation re-creates that bottleneck *inside*
+// Quancurrent by serializing all owner duties (batch update + propagation)
+// behind one global lock, quantifying how much of the speedup comes from
+// collaborative propagation alone.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== Ablation A1: collaborative vs serialized propagation ===\n");
+  std::printf("k=%u b=%u n=%llu runs=%u\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys), scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 12);
+
+  Table t({"threads", "collaborative", "serialized", "ratio"});
+  for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
+    auto measure = [&](bool serialize) {
+      return bench::average_runs(scale.runs, [&] {
+        core::Options o;
+        o.k = k;
+        o.b = b;
+        o.serialize_propagation = serialize;
+        o.topology = numa::Topology::virtual_nodes(4, 8);
+        core::Quancurrent<double> sk(o);
+        return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));
+      });
+    };
+    const double collab = measure(false);
+    const double serial = measure(true);
+    t.add_row({Table::integer(threads), Table::mops(collab), Table::mops(serial),
+               Table::num(collab / serial, 2) + "x"});
+  }
+  t.print();
+  std::printf("\nexpected: ratio grows with threads — serialization caps scaling.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A3: IBR tuning — epoch frequency × reclamation frequency sweep.
+// Quancurrent allocates one level array per batch and per propagation hop
+// plus MCAS descriptors; reclamation cadence trades peak memory against
+// scan overhead.  This ablation quantifies both sides so the defaults in
+// core/options.hpp are justified by data rather than folklore.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 1024));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+  const std::uint32_t threads = std::min<std::uint32_t>(4, scale.max_threads);
+
+  std::printf("=== Ablation A3: IBR epoch/reclamation frequency ===\n");
+  std::printf("k=%u b=%u threads=%u n=%llu\n\n", k, b, threads,
+              static_cast<unsigned long long>(scale.keys));
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 21);
+
+  Table t({"epoch_freq", "recl_freq", "throughput", "peak_live_blocks", "scans"});
+  for (std::uint64_t ef : {4ull, 64ull, 1024ull}) {
+    for (std::uint64_t rf : {4ull, 64ull, 1024ull}) {
+      core::Options o;
+      o.k = k;
+      o.b = b;
+      o.ibr_epoch_freq = ef;
+      o.ibr_recl_freq = rf;
+      core::Quancurrent<double> sk(o);
+      const double secs = bench::ingest_quancurrent(sk, data, threads);
+      const auto ibr = sk.ibr_stats();
+      t.add_row({Table::integer(ef), Table::integer(rf),
+                 Table::mops(throughput(data.size(), secs)),
+                 Table::integer(ibr.allocated - ibr.freed), Table::integer(ibr.scans)});
+    }
+  }
+  t.print();
+  std::printf("\nexpected: small recl_freq bounds live blocks at the cost of scans;\n"
+              "very large epoch_freq delays reclamation (coarser intervals).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A2: structural choices — snapshot caching and Gather&Sort
+// double-buffering.
+//  (a) snapshot cache off (rho = 0) vs on (rho = 1.05) in a mixed workload:
+//      quantifies Figure 6c's caching claim in isolation;
+//  (b) one vs two G&S buffers per node in update-only: quantifies the
+//      ingestion/propagation overlap the second buffer provides.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 1024));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== Ablation A2: snapshot cache & G&S double-buffering ===\n");
+  std::printf("k=%u b=%u n=%llu runs=%u\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys), scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 13);
+
+  // (a) snapshot cache.
+  {
+    std::printf("-- (a) snapshot cache in a mixed workload (2 upd, 4 qry) --\n");
+    Table t({"rho", "query_tput", "update_tput", "miss_rate"});
+    for (double rho : {0.0, 1.05}) {
+      core::Options o;
+      o.k = k;
+      o.b = b;
+      o.rho = rho;
+      o.collect_stats = true;
+      o.topology = numa::Topology::virtual_nodes(1, 8);
+      core::Quancurrent<double> sk(o);
+      bench::ingest_quancurrent(sk, data, 2, /*quiesce=*/true);
+      const auto r = bench::run_mixed(sk, data, 2, 4);
+      t.add_row({Table::num(rho, 2), Table::mops(r.query_throughput),
+                 Table::mops(r.update_throughput), Table::percent(r.query_miss_rate)});
+    }
+    t.print();
+  }
+
+  // (b) single vs double G&S buffer.
+  {
+    std::printf("\n-- (b) Gather&Sort buffers per node (update-only) --\n");
+    Table t({"threads", "double_buffer", "single_buffer", "ratio"});
+    for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
+      auto measure = [&](bool single) {
+        return bench::average_runs(scale.runs, [&] {
+          core::Options o;
+          o.k = k;
+          o.b = b;
+          o.single_gs_buffer = single;
+          o.topology = numa::Topology::virtual_nodes(4, 8);
+          core::Quancurrent<double> sk(o);
+          return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));
+        });
+      };
+      const double two = measure(false);
+      const double one = measure(true);
+      t.add_row({Table::integer(threads), Table::mops(two), Table::mops(one),
+                 Table::num(two / one, 2) + "x"});
+    }
+    t.print();
+  }
+  std::printf("\nexpected: cache lifts query throughput sharply; the second buffer\n"
+              "helps once several threads share a node.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 2: Quancurrent quantiles vs. exact CDF.
+// Paper parameters: k = 1024, normal distribution, 32 update threads,
+// 10M elements.  For each φ the paper plots the exact CDF rank ⌊φn⌋ and the
+// exact rank of Quancurrent's estimate; the two curves should coincide.
+//
+// Env: QC_SCALE/QC_KEYS/QC_MAX_THREADS, QC_K (default 1024).
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 1024));
+  const std::uint32_t threads = std::min<std::uint32_t>(32, scale.max_threads);
+
+  std::printf("=== Figure 2: Quancurrent vs exact CDF ===\n");
+  std::printf("k=%u b=16 threads=%u n=%llu dist=normal\n\n", k, threads,
+              static_cast<unsigned long long>(scale.keys));
+
+  core::Options o;
+  o.k = k;
+  o.b = 16;
+  o.topology = numa::Topology::virtual_nodes(4, 8);
+  core::Quancurrent<double> sk(o);
+
+  auto data = stream::make_stream(stream::Distribution::kNormal, scale.keys, 2023);
+  bench::ingest_quancurrent(sk, data, threads, /*quiesce=*/true);
+  stream::ExactQuantiles<double> exact(std::move(data));
+
+  auto q = sk.make_querier();
+  q.refresh();
+
+  Table t({"phi", "exact_rank", "quancurrent_rank", "rank_err(x1e-4)"});
+  double max_err = 0;
+  for (double phi : bench::phi_grid(25)) {
+    const double est = q.quantile(phi);
+    const auto est_rank = exact.rank(est);
+    const auto target = static_cast<std::uint64_t>(phi * static_cast<double>(exact.size()));
+    const double err = exact.rank_error(est, phi);
+    max_err = std::max(max_err, err);
+    t.add_row({Table::num(phi, 2), Table::integer(target), Table::integer(est_rank),
+               Table::num(err * 1e4, 1)});
+  }
+  t.print();
+  std::printf("\nmax normalized rank error: %.5f (paper: curves visually coincide)\n",
+              max_err);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 6a: update-only throughput vs. number of update threads.
+// Paper parameters: k = 4096, b = 16, 10M elements; Quancurrent scales
+// linearly, reaching 12x the sequential sketch at 32 threads.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== Figure 6a: update-only throughput ===\n");
+  std::printf("k=%u b=%u n=%llu runs=%u (paper: 12x sequential at 32 threads)\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys), scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 7);
+
+  // Sequential baseline.
+  const double seq_tput = bench::average_runs(scale.runs, [&] {
+    sketch::QuantilesSketch<double> seq(k);
+    return throughput(data.size(), bench::ingest_sequential(seq, data));
+  });
+
+  Table t({"threads", "quancurrent", "sequential", "speedup"});
+  for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
+    const double tput = bench::average_runs(scale.runs, [&] {
+      core::Options o;
+      o.k = k;
+      o.b = b;
+      o.topology = numa::Topology::virtual_nodes(4, 8);
+      core::Quancurrent<double> sk(o);
+      return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));
+    });
+    t.add_row({Table::integer(threads), Table::mops(tput), Table::mops(seq_tput),
+               Table::num(tput / seq_tput, 2) + "x"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 6b: query-only throughput vs. number of query threads.
+// Paper parameters: k = 4096, b = 16; 10M elements pre-filled, then 10M
+// queries; linear scaling to 30x the sequential sketch at 32 threads.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B, QC_QUERIES.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+  const std::uint64_t total_queries = env::get_u64("QC_QUERIES", scale.keys);
+
+  std::printf("=== Figure 6b: query-only throughput ===\n");
+  std::printf("k=%u b=%u prefill=%llu queries=%llu (paper: 30x sequential at 32)\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys),
+              static_cast<unsigned long long>(total_queries));
+
+  core::Options o;
+  o.k = k;
+  o.b = b;
+  o.topology = numa::Topology::virtual_nodes(4, 8);
+  core::Quancurrent<double> sk(o);
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 11);
+  bench::ingest_quancurrent(sk, data, std::min<std::uint32_t>(8, scale.max_threads),
+                            /*quiesce=*/true);
+
+  // Sequential baseline: the sequential sketch rebuilds its sample view per
+  // query (its query path per §2.2).
+  sketch::QuantilesSketch<double> seq(k);
+  for (double x : data) seq.update(x);
+  const std::uint64_t seq_queries = std::max<std::uint64_t>(total_queries / 1000, 10);
+  Timer seq_timer;
+  for (std::uint64_t i = 0; i < seq_queries; ++i) {
+    (void)seq.quantile(0.001 * static_cast<double>(i % 999 + 1));
+  }
+  const double seq_tput = throughput(seq_queries, seq_timer.elapsed_seconds());
+
+  Table t({"threads", "quancurrent", "sequential", "speedup"});
+  for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
+    const std::uint64_t per_thread = total_queries / threads;
+    const double tput = bench::average_runs(scale.runs, [&] {
+      const double secs = bench::timed_parallel(threads, [&](std::uint32_t t) {
+        auto q = sk.make_querier();
+        double phi = 0.001 * (t + 1);
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+          (void)q.quantile(phi);
+          phi += 0.001;
+          if (phi >= 1.0) phi = 0.001;
+        }
+      });
+      return throughput(per_thread * threads, secs);
+    });
+    t.add_row({Table::integer(threads), Table::mops(tput), Table::mops(seq_tput),
+               Table::num(tput / seq_tput, 2) + "x"});
+  }
+  t.print();
+  return 0;
+}

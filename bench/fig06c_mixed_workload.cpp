@@ -1,0 +1,58 @@
+// Figure 6c: mixed update/query workload.
+// Paper parameters: 1 or 2 update threads, up to 32 query threads,
+// k = 1024, b = 16, ε' ∈ {0.0, 0.05} (ρ = 1+ε'), 10M updates after a 10M
+// prefill.  Shows that the snapshot cache (ρ > 0) is crucial for query
+// throughput and that updates and queries interfere.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 1024));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== Figure 6c: mixed update/query workload ===\n");
+  std::printf("k=%u b=%u prefill=%llu updates=%llu (rho = 1 + eps')\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys),
+              static_cast<unsigned long long>(scale.keys));
+
+  const auto prefill = stream::make_stream(stream::Distribution::kUniform, scale.keys, 3);
+  const auto updates = stream::make_stream(stream::Distribution::kUniform, scale.keys, 4);
+
+  Table t({"upd_threads", "qry_threads", "eps'", "update_tput", "query_tput", "miss_rate"});
+  for (std::uint32_t upd : {1u, 2u}) {
+    for (double eps_prime : {0.0, 0.05}) {
+      for (std::uint32_t qry : {1u, 2u, 4u, 8u, 16u, 24u, 32u}) {
+        if (upd + qry > scale.max_threads + 2) continue;
+        core::Options o;
+        o.k = k;
+        o.b = b;
+        // Paper §5.2: "ρ = 0 (no caching)" — ε' = 0 disables the cache
+        // entirely; ε' > 0 sets the freshness ratio ρ = 1 + ε'.
+        o.rho = eps_prime == 0.0 ? 0.0 : 1.0 + eps_prime;
+        o.collect_stats = true;
+        o.topology = numa::Topology::virtual_nodes(4, 8);
+        core::Quancurrent<double> sk(o);
+        bench::ingest_quancurrent(sk, prefill,
+                                  std::min<std::uint32_t>(8, scale.max_threads),
+                                  /*quiesce=*/true);
+        const auto r = bench::run_mixed(sk, updates, upd, qry);
+        t.add_row({Table::integer(upd), Table::integer(qry), Table::num(eps_prime, 2),
+                   Table::mops(r.update_throughput), Table::mops(r.query_throughput),
+                   Table::percent(r.query_miss_rate)});
+      }
+    }
+  }
+  t.print();
+  std::printf("\npaper shape: eps'=0.05 lifts query throughput by orders of magnitude;\n"
+              "more update threads depress query throughput and vice versa.\n");
+  return 0;
+}

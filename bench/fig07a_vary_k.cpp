@@ -1,0 +1,49 @@
+// Figure 7a: update-only throughput while varying the summary size k.
+// Paper parameters: k ∈ {256, 512, 1024, 2048, 4096}, b = 16, 10M keys.
+// Throughput increases with k, peaking around k = 2048.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_B.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== Figure 7a: throughput vs k (update-only) ===\n");
+  std::printf("b=%u n=%llu runs=%u\n\n", b, static_cast<unsigned long long>(scale.keys),
+              scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 5);
+  const auto threads = bench::thread_sweep(scale.max_threads);
+
+  std::vector<std::string> headers{"threads"};
+  for (std::uint32_t k : {256u, 512u, 1024u, 2048u, 4096u}) {
+    headers.push_back("k=" + std::to_string(k));
+  }
+  Table t(headers);
+  for (std::uint32_t th : threads) {
+    std::vector<std::string> row{Table::integer(th)};
+    for (std::uint32_t k : {256u, 512u, 1024u, 2048u, 4096u}) {
+      const double tput = bench::average_runs(scale.runs, [&] {
+        core::Options o;
+        o.k = k;
+        o.b = b;
+        o.topology = numa::Topology::virtual_nodes(4, 8);
+        core::Quancurrent<double> sk(o);
+        return throughput(data.size(), bench::ingest_quancurrent(sk, data, th));
+      });
+      row.push_back(Table::mops(tput));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\npaper shape: throughput grows with k, flattening after k=2048.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 7b: update-only throughput while varying the local buffer size b.
+// Paper parameters: b ∈ {1, 2, 4, 8, 16, 32, 64}, k = 4096, 10M keys.
+// Throughput increases with b (more elements move per F&A; less contention).
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+
+  std::printf("=== Figure 7b: throughput vs b (update-only) ===\n");
+  std::printf("k=%u n=%llu runs=%u\n\n", k, static_cast<unsigned long long>(scale.keys),
+              scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 6);
+  const auto threads = bench::thread_sweep(scale.max_threads);
+
+  std::vector<std::string> headers{"threads"};
+  for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    headers.push_back("b=" + std::to_string(b));
+  }
+  Table t(headers);
+  for (std::uint32_t th : threads) {
+    std::vector<std::string> row{Table::integer(th)};
+    for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const double tput = bench::average_runs(scale.runs, [&] {
+        core::Options o;
+        o.k = k;
+        o.b = b;
+        o.topology = numa::Topology::virtual_nodes(4, 8);
+        core::Quancurrent<double> sk(o);
+        return throughput(data.size(), bench::ingest_quancurrent(sk, data, th));
+      });
+      row.push_back(Table::mops(tput));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("\npaper shape: throughput increases with b (more concurrency).\n");
+  return 0;
+}

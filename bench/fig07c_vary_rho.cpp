@@ -1,0 +1,54 @@
+// Figure 7c: query throughput and miss rate while varying the freshness
+// threshold ρ = 1 + c·ε.
+// Paper parameters: 8 update threads, 24 query threads, k = 1024, b = 16;
+// ε is the sketch's error parameter; c sweeps {0, 0.5, 1, ..., 5}.
+// Larger ρ serves more queries from the cache: throughput rises, miss rate
+// falls.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+#include <cstdio>
+
+#include "analysis/error_bounds.hpp"
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 1024));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+  const std::uint32_t upd = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(env::get_u64("QC_UPD_THREADS", 8)), scale.max_threads);
+  const std::uint32_t qry = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(env::get_u64("QC_QRY_THREADS", 24)), scale.max_threads);
+
+  const double eps = analysis::classic_sketch_epsilon(k);
+
+  std::printf("=== Figure 7c: query throughput & miss rate vs rho ===\n");
+  std::printf("k=%u b=%u upd=%u qry=%u eps(k)=%.5f\n\n", k, b, upd, qry, eps);
+
+  const auto prefill = stream::make_stream(stream::Distribution::kUniform, scale.keys, 8);
+  const auto updates = stream::make_stream(stream::Distribution::kUniform, scale.keys, 9);
+
+  Table t({"rho", "query_tput", "update_tput", "miss_rate"});
+  for (double c : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
+    core::Options o;
+    o.k = k;
+    o.b = b;
+    o.rho = 1.0 + c * eps;
+    o.collect_stats = true;
+    o.topology = numa::Topology::virtual_nodes(4, 8);
+    core::Quancurrent<double> sk(o);
+    bench::ingest_quancurrent(sk, prefill, std::min<std::uint32_t>(8, scale.max_threads),
+                              /*quiesce=*/true);
+    const auto r = bench::run_mixed(sk, updates, upd, qry);
+    t.add_row({"1+" + Table::num(c, 1) + "e", Table::mops(r.query_throughput),
+               Table::mops(r.update_throughput), Table::percent(r.query_miss_rate)});
+  }
+  t.print();
+  std::printf("\npaper shape: higher rho -> higher query throughput, lower miss rate.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 9: Quancurrent quantiles vs. exact CDF for the uniform and normal
+// distributions with k ∈ {32, 256}.
+// Paper parameters: 32 threads, b = 16, 10M elements.  k = 32 tracks the
+// CDF loosely; k = 256 is visually exact.
+//
+// Env: QC_SCALE/QC_KEYS/QC_MAX_THREADS.
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+void run_case(qc::stream::Distribution dist, std::uint32_t k, std::uint64_t keys,
+              std::uint32_t threads) {
+  using namespace qc;
+  core::Options o;
+  o.k = k;
+  o.b = 16;
+  o.topology = numa::Topology::virtual_nodes(4, 8);
+  core::Quancurrent<double> sk(o);
+  auto data = stream::make_stream(dist, keys, 31 + k);
+  bench::ingest_quancurrent(sk, data, threads, /*quiesce=*/true);
+  stream::ExactQuantiles<double> exact(std::move(data));
+  auto q = sk.make_querier();
+  q.refresh();
+
+  std::printf("-- dist=%s k=%u --\n", stream::distribution_name(dist), k);
+  Table t({"phi", "exact_rank", "quancurrent_rank", "rank_err(x1e-4)"});
+  double max_err = 0;
+  for (double phi : bench::phi_grid(20)) {
+    const double est = q.quantile(phi);
+    const double err = exact.rank_error(est, phi);
+    max_err = std::max(max_err, err);
+    t.add_row({Table::num(phi, 2),
+               Table::integer(static_cast<std::uint64_t>(phi * exact.size())),
+               Table::integer(exact.rank(est)), Table::num(err * 1e4, 1)});
+  }
+  t.print();
+  std::printf("max err %.5f  (paper: k=32 loose, k=256 tight)\n\n", max_err);
+}
+
+}  // namespace
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t threads = std::min<std::uint32_t>(32, scale.max_threads);
+
+  std::printf("=== Figure 9: estimated vs exact CDF (uniform & normal; k=32, 256) ===\n");
+  std::printf("threads=%u b=16 n=%llu\n\n", threads,
+              static_cast<unsigned long long>(scale.keys));
+
+  for (auto dist : {stream::Distribution::kUniform, stream::Distribution::kNormal}) {
+    for (std::uint32_t k : {32u, 256u}) {
+      run_case(dist, k, scale.keys, threads);
+    }
+  }
+  return 0;
+}

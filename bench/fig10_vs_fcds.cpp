@@ -1,0 +1,80 @@
+// Figure 10: Quancurrent vs. FCDS — update throughput at matched relaxation.
+// Paper parameters: k = 4096; threads ∈ {8, 16, 24, 32}; relaxation r swept
+// from ~2·10^4 to ~4·10^5 by varying Quancurrent's local buffer b
+// (r = 4kS + (N−S)b) and FCDS's worker buffer B (r = 2NB).
+// The paper's shape: Quancurrent sustains high throughput at small r; FCDS
+// needs an order of magnitude more relaxation for comparable throughput.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K.
+#include <cstdio>
+
+#include "analysis/relaxation.hpp"
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+
+  std::printf("=== Figure 10: Quancurrent vs FCDS at matched relaxation ===\n");
+  std::printf("k=%u n=%llu runs=%u\n\n", k, static_cast<unsigned long long>(scale.keys),
+              scale.runs);
+
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 10);
+
+  for (std::uint32_t threads : {8u, 16u, 24u, 32u}) {
+    if (threads > scale.max_threads) continue;
+    // Paper placement: S grows as nodes fill (8 threads per node).
+    const std::uint32_t nodes = std::max(1u, (threads + 7) / 8);
+    std::printf("-- %u update threads (S=%u NUMA nodes) --\n", threads, nodes);
+    Table t({"target_r", "qc_b", "qc_r", "qc_tput", "fcds_B", "fcds_r", "fcds_tput"});
+
+    for (std::uint64_t target_r :
+         {20'000ull, 30'000ull, 50'000ull, 80'000ull, 120'000ull, 200'000ull, 400'000ull}) {
+      // Quancurrent: b from r = 4kS + (N−S)b, rounded down to a divisor of 2k.
+      std::uint64_t b = analysis::quancurrent_buffer_for_relaxation(target_r, k, nodes,
+                                                                    threads);
+      while (b > 1 && (2ull * k) % b != 0) --b;
+      std::string qc_b = "-", qc_r = "-", qc_tput = "-";
+      if (b >= 1 && threads > nodes) {
+        const double tput = bench::average_runs(scale.runs, [&] {
+          core::Options o;
+          o.k = k;
+          o.b = static_cast<std::uint32_t>(b);
+          o.topology = numa::Topology::virtual_nodes(nodes, 8);
+          core::Quancurrent<double> sk(o);
+          return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));
+        });
+        qc_b = Table::integer(b);
+        qc_r = Table::integer(analysis::quancurrent_relaxation(k, nodes, threads, b));
+        qc_tput = Table::mops(tput);
+      }
+
+      // FCDS: B from r = 2NB.
+      const std::uint64_t B = analysis::fcds_buffer_for_relaxation(target_r, threads);
+      std::string f_tput = "-";
+      if (B >= 1) {
+        const double tput = bench::average_runs(scale.runs, [&] {
+          fcds::FcdsQuantiles<double>::Options fo;
+          fo.k = k;
+          fo.worker_buffer = B;
+          fo.num_workers = threads;
+          fo.publish_every = 1u << 20;  // update-only: no snapshot publishing
+          fcds::FcdsQuantiles<double> f(fo);
+          return throughput(data.size(), bench::ingest_fcds(f, data, threads));
+        });
+        f_tput = Table::mops(tput);
+      }
+      t.add_row({Table::integer(target_r), qc_b, qc_r, qc_tput, Table::integer(B),
+                 Table::integer(analysis::fcds_relaxation(threads, B)), f_tput});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("paper shape: QC throughput ~flat in r; FCDS needs ~10x larger r to match.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Micro-benchmarks for Quancurrent's substrates: MCAS/DCAS, tritmap
+// arithmetic, IBR allocation/retirement, sorting and sampling primitives.
+// These quantify the constants behind the figure-level results (e.g. the
+// cost of one DCAS bounds the batch-update rate: one DCAS per 2k elements).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "atomics/mcas.hpp"
+#include "atomics/tritmap.hpp"
+#include "common/rng.hpp"
+#include "core/owner_sort.hpp"
+#include "reclamation/ibr.hpp"
+#include "sequential/quantiles_sketch.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+void BM_TritmapStreamSize(benchmark::State& state) {
+  qc::Tritmap t(0);
+  for (std::uint32_t i = 0; i < 20; ++i) t = t.with_trit(i, 1 + (i % 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.stream_size(4096));
+  }
+}
+BENCHMARK(BM_TritmapStreamSize);
+
+void BM_TritmapTransition(benchmark::State& state) {
+  qc::Tritmap t(0);
+  for (auto _ : state) {
+    qc::Tritmap u = t.after_batch_update();
+    benchmark::DoNotOptimize(u.after_install_propagation(0));
+  }
+}
+BENCHMARK(BM_TritmapTransition);
+
+void BM_SingleWordCas(benchmark::State& state) {
+  std::atomic<std::uint64_t> w{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    w.compare_exchange_strong(v, v + 1);
+    ++v;
+  }
+}
+BENCHMARK(BM_SingleWordCas);
+
+void BM_Dcas(benchmark::State& state) {
+  qc::ibr::Domain domain;
+  qc::mcas::Mcas mcas(domain);
+  auto th = domain.register_thread();
+  std::atomic<qc::mcas::Word> a{0}, b{0};
+  qc::mcas::Word va = 0, vb = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcas.dcas(th, a, va, va + 1, b, vb, vb + 1));
+    ++va;
+    ++vb;
+  }
+}
+BENCHMARK(BM_Dcas);
+
+void BM_DcasRead(benchmark::State& state) {
+  qc::ibr::Domain domain;
+  qc::mcas::Mcas mcas(domain);
+  auto th = domain.register_thread();
+  std::atomic<qc::mcas::Word> a{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcas.read(th, a));
+  }
+}
+BENCHMARK(BM_DcasRead);
+
+void BM_IbrAllocRetire(benchmark::State& state) {
+  qc::ibr::Domain domain;
+  auto th = domain.register_thread();
+  for (auto _ : state) {
+    int* p = domain.make<int>(th, 1);
+    domain.retire(th, p);
+  }
+}
+BENCHMARK(BM_IbrAllocRetire);
+
+void BM_IbrGuard(benchmark::State& state) {
+  qc::ibr::Domain domain;
+  auto th = domain.register_thread();
+  std::atomic<std::uint64_t> w{7};
+  for (auto _ : state) {
+    qc::ibr::Guard g(th);
+    benchmark::DoNotOptimize(g.protect_word(w));
+  }
+}
+BENCHMARK(BM_IbrGuard);
+
+void BM_SortBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  auto data = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 3);
+  std::vector<double> scratch(2 * k);
+  for (auto _ : state) {
+    std::copy(data.begin(), data.end(), scratch.begin());
+    std::sort(scratch.begin(), scratch.end());
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
+}
+BENCHMARK(BM_SortBatch)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_MergeAndSample(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  auto a = qc::stream::make_stream(qc::stream::Distribution::kUniform, k, 5);
+  auto b = qc::stream::make_stream(qc::stream::Distribution::kUniform, k, 6);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  bool coin = false;
+  for (auto _ : state) {
+    auto merged = qc::sketch::merge_sorted(std::span<const double>(a), std::span<const double>(b));
+    auto sampled = qc::sketch::sample_odd_or_even(std::span<const double>(merged), coin);
+    coin = !coin;
+    benchmark::DoNotOptimize(sampled.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
+}
+BENCHMARK(BM_MergeAndSample)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SequentialSketchUpdate(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  auto data = qc::stream::make_stream(qc::stream::Distribution::kUniform, 1 << 16, 7);
+  qc::sketch::QuantilesSketch<double> sk(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sk.update(data[i]);
+    i = (i + 1) % data.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialSketchUpdate)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Xoshiro(benchmark::State& state) {
+  qc::Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+// Owner-copy sorting: std::sort of the full 2k copy vs merging the
+// b-sorted writer runs (core/owner_sort.hpp) — the propagation-cost
+// optimization DESIGN.md calls out.
+void BM_OwnerSortStd(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t b = 16;
+  auto runs = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 9);
+  for (std::size_t begin = 0; begin < runs.size(); begin += b) {
+    std::sort(runs.begin() + begin, runs.begin() + begin + b);
+  }
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    scratch = runs;
+    qc::core::sort_owner_copy(scratch, static_cast<std::uint32_t>(b),
+                              qc::core::OwnerSortStrategy::kStdSort, std::less<double>());
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
+}
+BENCHMARK(BM_OwnerSortStd)->Arg(1024)->Arg(4096);
+
+void BM_OwnerSortRunMerge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t b = 16;
+  auto runs = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 9);
+  for (std::size_t begin = 0; begin < runs.size(); begin += b) {
+    std::sort(runs.begin() + begin, runs.begin() + begin + b);
+  }
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    scratch = runs;
+    qc::core::sort_owner_copy(scratch, static_cast<std::uint32_t>(b),
+                              qc::core::OwnerSortStrategy::kRunMerge, std::less<double>());
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
+}
+BENCHMARK(BM_OwnerSortRunMerge)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();
