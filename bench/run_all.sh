@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs every built bench binary at smoke scale and fails if any exits
+# non-zero.  Usage: bench/run_all.sh [build-dir]   (default: build)
+set -u
+
+build_dir="${1:-build}"
+bench_dir="${build_dir}/bench"
+
+if [ ! -d "${bench_dir}" ]; then
+  echo "error: ${bench_dir} not found — configure with -DQC_BUILD_BENCH=ON first" >&2
+  exit 2
+fi
+
+export QC_SCALE="${QC_SCALE:-smoke}"
+
+failures=0
+ran=0
+for exe in "${bench_dir}"/*; do
+  [ -f "${exe}" ] && [ -x "${exe}" ] || continue
+  ran=$((ran + 1))
+  echo "=== running $(basename "${exe}") (QC_SCALE=${QC_SCALE}) ==="
+  if ! "${exe}"; then
+    echo "*** $(basename "${exe}") FAILED" >&2
+    failures=$((failures + 1))
+  fi
+  echo
+done
+
+if [ "${ran}" -eq 0 ]; then
+  echo "error: no bench binaries found in ${bench_dir}" >&2
+  exit 2
+fi
+
+echo "${ran} bench(es) run, ${failures} failure(s)"
+exit "$((failures > 0 ? 1 : 0))"

@@ -1,0 +1,92 @@
+// The tritmap: a single 64-bit word encoding the occupancy of the levels
+// array, two bits ("one trit") per level.  Trit i counts the k-sized sorted
+// arrays currently installed at level i (0, 1, or 2); an array at level i
+// carries weight 2^i per item, so the word alone determines the installed
+// stream size:
+//
+//   stream_size(k) = sum_i trit(i) * k * 2^i
+//
+// State transitions mirror the paper's protocol:
+//  * after_batch_update()            — a sorted 2k Gather&Sort batch lands at
+//                                      level 0 as two k-arrays (trit 0 += 2);
+//                                      stream size grows by exactly 2k.
+//  * after_install_propagation(i)    — the two arrays at level i are merged,
+//                                      compacted to one k-array, and installed
+//                                      one level up (trit i -> 0,
+//                                      trit i+1 += 1); stream size is
+//                                      unchanged, which is what lets queries
+//                                      read a consistent size from a single
+//                                      atomic load at any point mid-cascade.
+//
+// Tritmap is a trivially copyable value type, so std::atomic<Tritmap> is
+// lock-free on 64-bit targets and a writer can publish a whole batch (install
+// plus full propagation cascade) with a single CAS.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace qc {
+
+class Tritmap {
+ public:
+  static constexpr std::uint32_t kMaxLevels = 32;
+  static constexpr std::uint32_t kTritMask = 0x3;
+
+  constexpr Tritmap() = default;
+  constexpr explicit Tritmap(std::uint64_t raw) : raw_(raw) {}
+
+  constexpr std::uint64_t raw() const { return raw_; }
+
+  // Number of k-arrays installed at `level` (0..2).
+  constexpr std::uint32_t trit(std::uint32_t level) const {
+    assert(level < kMaxLevels);
+    return static_cast<std::uint32_t>(raw_ >> (2 * level)) & kTritMask;
+  }
+
+  constexpr Tritmap with_trit(std::uint32_t level, std::uint32_t value) const {
+    assert(level < kMaxLevels);
+    assert(value <= 2);
+    const std::uint64_t mask = static_cast<std::uint64_t>(kTritMask) << (2 * level);
+    return Tritmap((raw_ & ~mask) | (static_cast<std::uint64_t>(value) << (2 * level)));
+  }
+
+  // A full 2k batch is installed at level 0.  Requires level 0 empty (the
+  // propagation cascade always drains level 0 before the next batch).
+  constexpr Tritmap after_batch_update() const {
+    assert(trit(0) == 0);
+    return with_trit(0, 2);
+  }
+
+  // The two arrays at `level` are compacted into one array at `level + 1`.
+  constexpr Tritmap after_install_propagation(std::uint32_t level) const {
+    assert(trit(level) == 2);
+    assert(trit(level + 1) < 2);
+    return with_trit(level, 0).with_trit(level + 1, trit(level + 1) + 1);
+  }
+
+  // Installed stream size implied by the occupancy word.
+  constexpr std::uint64_t stream_size(std::uint64_t k) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t level = 0; level < kMaxLevels; ++level) {
+      total += static_cast<std::uint64_t>(trit(level)) * (k << level);
+    }
+    return total;
+  }
+
+  // Index one past the highest occupied level (0 when empty).
+  constexpr std::uint32_t num_levels() const {
+    std::uint32_t top = 0;
+    for (std::uint32_t level = 0; level < kMaxLevels; ++level) {
+      if (trit(level) != 0) top = level + 1;
+    }
+    return top;
+  }
+
+  friend constexpr bool operator==(Tritmap a, Tritmap b) { return a.raw_ == b.raw_; }
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+}  // namespace qc

@@ -1,0 +1,92 @@
+// Shared measurement scaffolding for the figure benches: run averaging,
+// thread sweeps, phi grids, and throughput conversion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace qc {
+
+// Operations per second for `ops` operations completed in `seconds`.
+inline double throughput(std::uint64_t ops, double seconds) {
+  return seconds <= 0.0 ? 0.0 : static_cast<double>(ops) / seconds;
+}
+
+namespace bench {
+
+// Averages `fn()` (returning a double metric) over `runs` repetitions.
+template <typename Fn>
+double average_runs(std::uint32_t runs, Fn&& fn) {
+  if (runs == 0) runs = 1;
+  double sum = 0.0;
+  for (std::uint32_t r = 0; r < runs; ++r) sum += fn();
+  return sum / static_cast<double>(runs);
+}
+
+// Powers of two up to max_threads, plus max_threads itself if not a power of
+// two: 1, 2, 4, ..., max.
+inline std::vector<std::uint32_t> thread_sweep(std::uint32_t max_threads) {
+  if (max_threads == 0) max_threads = 1;
+  std::vector<std::uint32_t> sweep;
+  for (std::uint32_t t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  return sweep;
+}
+
+// `points` quantile fractions spread evenly over (0, 1).
+inline std::vector<double> phi_grid(std::uint32_t points) {
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (std::uint32_t i = 0; i < points; ++i) {
+    grid.push_back((static_cast<double>(i) + 0.5) / static_cast<double>(points));
+  }
+  return grid;
+}
+
+// Splits [0, n) into `parts` contiguous half-open ranges of near-equal size.
+inline std::vector<std::pair<std::uint64_t, std::uint64_t>> split_ranges(
+    std::uint64_t n, std::uint32_t parts) {
+  if (parts == 0) parts = 1;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  ranges.reserve(parts);
+  std::uint64_t begin = 0;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const std::uint64_t end = begin + n / parts + (p < n % parts ? 1 : 0);
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+// Runs fn(thread_index) on `threads` std::threads; returns wall seconds of
+// the working phase.  Threads rendezvous on a start barrier before the clock
+// starts, so thread-creation cost is excluded (steady-state throughput, as
+// the paper measures).
+template <typename Fn>
+double timed_parallel(std::uint32_t threads, Fn&& fn) {
+  if (threads == 0) threads = 1;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      fn(t);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != threads) std::this_thread::yield();
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  return timer.seconds();
+}
+
+}  // namespace bench
+}  // namespace qc

@@ -1,0 +1,42 @@
+// Canned ingestion workloads shared by the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "common/timer.hpp"
+#include "core/quancurrent.hpp"
+#include "sequential/quantiles_sketch.hpp"
+
+namespace qc::bench {
+
+// Feeds `data` into a sequential sketch; returns wall seconds.
+template <typename Sketch>
+double ingest_sequential(Sketch& sketch, const std::vector<double>& data) {
+  Timer timer;
+  for (const double v : data) sketch.update(v);
+  return timer.seconds();
+}
+
+// Feeds `data` into a Quancurrent sketch from `threads` update threads, each
+// owning a contiguous slice; returns wall seconds.  With quiesce=true the
+// measured interval also covers draining local/gather buffers, after which
+// sketch.size() == data.size().
+template <typename T>
+double ingest_quancurrent(core::Quancurrent<T>& sketch, const std::vector<T>& data,
+                          std::uint32_t threads, bool quiesce = false) {
+  if (threads == 0) threads = 1;
+  const auto ranges = split_ranges(data.size(), threads);
+  const double seconds = timed_parallel(threads, [&](std::uint32_t tid) {
+    auto updater = sketch.make_updater(tid);
+    const auto [begin, end] = ranges[tid];
+    for (std::uint64_t i = begin; i < end; ++i) updater.update(data[i]);
+  });
+  if (!quiesce) return seconds;
+  Timer drain_timer;
+  sketch.quiesce();
+  return seconds + drain_timer.seconds();
+}
+
+}  // namespace qc::bench

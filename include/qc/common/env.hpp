@@ -1,0 +1,33 @@
+// Environment-variable configuration shared by benches and tests.
+//
+// Every bench reads its workload size from QC_* variables so CI can run the
+// same binaries in "smoke" mode while local experiments use paper-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qc::env {
+
+// Workload scale resolved from QC_SCALE with per-field overrides.
+struct BenchScale {
+  const char* name;
+  std::uint64_t keys;         // elements ingested per run
+  std::uint32_t runs;         // repetitions averaged per data point
+  std::uint32_t max_threads;  // upper bound for thread sweeps
+};
+
+// Reads `name` as an unsigned integer; returns `fallback` when unset/invalid.
+std::uint64_t get_u64(const char* name, std::uint64_t fallback);
+
+// Reads `name` as a double; returns `fallback` when unset or invalid.
+double get_double(const char* name, double fallback);
+
+// Reads `name` as a string; returns `fallback` when unset.
+std::string get_str(const char* name, const std::string& fallback);
+
+// Resolves QC_SCALE ("smoke", "small", "paper"; default "small"), then applies
+// QC_KEYS / QC_RUNS / QC_MAX_THREADS overrides on top of the preset.
+BenchScale bench_scale();
+
+}  // namespace qc::env

@@ -1,0 +1,30 @@
+// Fixed-width ASCII table printer used by every figure bench.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+
+  void print(std::FILE* out = stdout) const;
+
+  // Cell formatters.
+  static std::string integer(std::uint64_t v);
+  static std::string num(double v, int precision);
+  static std::string mops(double ops_per_sec);  // e.g. "12.34 Mop/s"
+  static std::string percent(double fraction);  // e.g. "42.0%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qc

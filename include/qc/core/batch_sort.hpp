@@ -1,0 +1,105 @@
+// Fast ascending sort for the owner's 2k Gather&Sort batch — the hottest
+// single operation in the ingest path (one full-batch sort per 2k updates).
+//
+// For arithmetic keys under the default ordering this is an LSD radix sort
+// over order-preserving bit images (sign-flipped integers, monotone-mapped
+// IEEE floats), with per-byte histograms computed in one pass so that bytes
+// on which all keys agree (e.g. the exponent bytes of uniform [0,1) doubles)
+// are skipped entirely.  Other types or custom comparators fall back to
+// std::sort.  NaNs are not supported (same precondition std::sort has with
+// operator<).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace qc::core {
+namespace detail {
+
+// Maps a value to an unsigned image whose natural order matches the value
+// order: unsigned stays as-is, signed flips the sign bit, floats flip the
+// sign bit for positives and all bits for negatives.
+template <typename T>
+std::uint64_t sort_key(T v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+    Bits u = std::bit_cast<Bits>(v);
+    const Bits sign = Bits{1} << (sizeof(Bits) * 8 - 1);
+    u ^= (u & sign) ? ~Bits{0} : sign;
+    return u;
+  } else if constexpr (std::is_signed_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<U>(v) ^ (U{1} << (sizeof(U) * 8 - 1));
+  } else {
+    return static_cast<std::uint64_t>(v);
+  }
+}
+
+template <typename T>
+inline constexpr std::size_t key_bytes =
+    std::is_floating_point_v<T> ? sizeof(T) : sizeof(std::uint64_t);
+
+}  // namespace detail
+
+template <typename T, typename Compare>
+inline constexpr bool batch_sort_uses_radix =
+    std::is_arithmetic_v<T> && !std::is_same_v<T, bool> &&
+    std::is_same_v<Compare, std::less<T>>;
+
+// Sorts `data` ascending using `aux` as scratch (resized to data.size()).
+template <typename T, typename Compare = std::less<T>>
+void batch_sort(std::span<T> data, std::vector<T>& aux, Compare cmp = Compare()) {
+  if constexpr (!batch_sort_uses_radix<T, Compare>) {
+    std::sort(data.begin(), data.end(), cmp);
+  } else {
+    const std::size_t n = data.size();
+    if (n < 64) {  // radix setup doesn't pay off on tiny runs
+      std::sort(data.begin(), data.end(), cmp);
+      return;
+    }
+    if (aux.size() < n) aux.resize(n);
+
+    constexpr std::size_t kBytes = detail::key_bytes<T>;
+    std::array<std::array<std::uint32_t, 256>, kBytes> hist{};
+    for (const T& v : data) {
+      const std::uint64_t key = detail::sort_key(v);
+      for (std::size_t b = 0; b < kBytes; ++b) {
+        ++hist[b][(key >> (8 * b)) & 0xff];
+      }
+    }
+
+    T* src = data.data();
+    T* dst = aux.data();
+    for (std::size_t b = 0; b < kBytes; ++b) {
+      auto& counts = hist[b];
+      // Skip bytes where every key agrees — no reordering can happen.
+      if (std::any_of(counts.begin(), counts.end(),
+                      [n](std::uint32_t c) { return c == n; })) {
+        continue;
+      }
+      std::uint32_t offset = 0;
+      for (auto& c : counts) {
+        const std::uint32_t count = c;
+        c = offset;
+        offset += count;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const T v = src[i];
+        dst[counts[(detail::sort_key(v) >> (8 * b)) & 0xff]++] = v;
+      }
+      std::swap(src, dst);
+    }
+    if (src != data.data()) {
+      std::memcpy(data.data(), src, n * sizeof(T));
+    }
+  }
+}
+
+}  // namespace qc::core

@@ -1,0 +1,31 @@
+// Construction-time configuration for core::Quancurrent.
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.hpp"
+
+namespace qc::core {
+
+struct Options {
+  std::uint32_t k = 4096;  // summary size: each level array holds k items
+  std::uint32_t b = 16;    // per-thread local buffer (elements moved per F&A)
+  std::uint32_t rho = 2;   // Gather&Sort buffers per NUMA node
+  bool collect_stats = false;
+  std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+  numa::Topology topology = numa::Topology::single_node();
+
+  // Clamps fields into the ranges the engine supports: k >= 2, rho >= 1, and
+  // b adjusted down to the nearest divisor of the 2k batch size so that F&A
+  // reservations always tile the gather buffer exactly.
+  void normalize() {
+    if (k < 2) k = 2;
+    if (rho == 0) rho = 1;
+    if (b == 0) b = 1;
+    const std::uint32_t cap = 2 * k;
+    if (b > cap) b = cap;
+    while (cap % b != 0) --b;
+  }
+};
+
+}  // namespace qc::core

@@ -1,0 +1,459 @@
+// Quancurrent: the concurrent quantiles sketch (Elias-Zada, Rinberg, Keidar,
+// SPAA 2023) over the KLL-style compaction ladder in
+// sequential/quantiles_sketch.hpp.
+//
+// Ingestion pipeline
+//   update threads -> per-thread local buffer (b items, no sharing)
+//                  -> Gather&Sort buffer of the thread's NUMA node: an F&A
+//                     reserves b slots in a 2k-element shared buffer; the
+//                     thread that commits the last slot becomes the batch
+//                     OWNER
+//                  -> the owner sorts the 2k batch in place and installs it
+//                     into the levels array, running the full propagation
+//                     cascade, then publishes everything with a single CAS on
+//                     the tritmap.
+//
+// Each NUMA node rotates through rho Gather&Sort buffers so ingestion
+// continues while an owner is sorting.  Buffers are recycled by a monotonic
+// (reservation, commit, ordinal) counter scheme: counters never reset, so a
+// delayed thread can never corrupt a later generation's accounting — its
+// reservation simply lands in a future ordinal and the thread waits for that
+// ordinal to open.
+//
+// Publication protocol.  The levels array is a preallocated grid of k-sized
+// slots.  An installing owner only writes slots that the currently published
+// tritmap marks empty, then flips the tritmap old -> new with one CAS, so a
+// query that loads the tritmap sees a fully consistent levels description.
+// Queries re-validate the tritmap after copying; if an install raced past
+// them they retry, and after a bounded number of attempts they accept the
+// snapshot and report the affected arrays as holes (counted, never crashed
+// on), mirroring the paper's hole analysis (§4.1).
+//
+// Relaxation.  Elements still in local buffers or partially filled gather
+// buffers are invisible to queries — the paper's bounded relaxation of at
+// most N*b + rho*nodes*2k elements.  quiesce() flushes all of that into the
+// query path; after every updater has drained and quiesce() returned,
+// size() equals the number of ingested elements exactly.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "atomics/tritmap.hpp"
+#include "common/rng.hpp"
+#include "core/batch_sort.hpp"
+#include "core/options.hpp"
+#include "sequential/quantiles_sketch.hpp"
+
+namespace qc::core {
+
+struct Stats {
+  std::uint64_t batches = 0;        // 2k batches installed
+  std::uint64_t propagations = 0;   // cascade steps across all batches
+  std::uint64_t holes = 0;          // arrays accepted unvalidated by queries
+  std::uint64_t query_retries = 0;  // snapshot retries across all queries
+
+  double hole_rate_per_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(holes) / static_cast<double>(batches);
+  }
+};
+
+template <typename T, typename Compare = std::less<T>>
+class Quancurrent {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "hole-tolerant snapshots require trivially copyable items");
+
+ public:
+  explicit Quancurrent(Options opts) : opts_(opts) {
+    opts_.normalize();
+    cap_ = 2 * static_cast<std::uint64_t>(opts_.k);
+    levels_.assign(static_cast<std::size_t>(kPreallocLevels) * 2 * opts_.k, T{});
+    scratch_.resize(cap_);
+    rng_ = Xoshiro256(opts_.seed);
+    nodes_.reserve(opts_.topology.nodes);
+    for (std::uint32_t n = 0; n < opts_.topology.nodes; ++n) {
+      nodes_.push_back(std::make_unique<Node>(opts_.rho, cap_));
+    }
+  }
+
+  Quancurrent(const Quancurrent&) = delete;
+  Quancurrent& operator=(const Quancurrent&) = delete;
+
+  const Options& options() const { return opts_; }
+
+  // ----- ingestion ---------------------------------------------------------
+
+  // Per-thread ingestion handle; not thread-safe, create one per thread.
+  class Updater {
+   public:
+    Updater(Quancurrent& sketch, std::uint32_t thread_index)
+        : sketch_(&sketch),
+          node_(sketch.opts_.topology.node_of(thread_index)),
+          b_(sketch.opts_.b),
+          local_(sketch.opts_.b) {}
+
+    Updater(const Updater&) = delete;
+    Updater& operator=(const Updater&) = delete;
+    Updater(Updater&& other) noexcept
+        : sketch_(std::exchange(other.sketch_, nullptr)),
+          node_(other.node_),
+          b_(other.b_),
+          local_(std::move(other.local_)),
+          count_(std::exchange(other.count_, 0)) {}
+    Updater& operator=(Updater&&) = delete;
+
+    ~Updater() { drain(); }
+
+    void update(const T& v) {
+      local_[count_++] = v;
+      if (count_ == b_) {
+        sketch_->flush_chunk(node_, local_.data(), b_);
+        count_ = 0;
+      }
+    }
+
+    // Hands any partial local buffer to the sketch's tail so no element is
+    // lost; called automatically on destruction.
+    void drain() {
+      if (sketch_ != nullptr && count_ != 0) {
+        sketch_->push_tail(local_.data(), count_);
+        count_ = 0;
+      }
+    }
+
+   private:
+    Quancurrent* sketch_;
+    std::uint32_t node_;
+    std::uint32_t b_;
+    std::vector<T> local_;
+    std::uint32_t count_ = 0;
+  };
+
+  Updater make_updater(std::uint32_t thread_index) { return Updater(*this, thread_index); }
+
+  // Flushes partially filled gather buffers and compacts the tail into full
+  // batches.  Precondition: no concurrent update() calls (updaters must have
+  // drained); concurrent queries are fine.
+  void quiesce() {
+    for (auto& node : nodes_) {
+      for (auto& gb : node->bufs) {
+        const std::uint64_t committed = gb->committed.load(std::memory_order_acquire);
+        assert(committed == gb->reserved.load(std::memory_order_acquire));
+        const std::uint64_t residue = committed % cap_;
+        if (residue == 0) continue;
+        push_tail(gb->slots.data(), residue);
+        // Pad the counters to the next batch boundary and advance the
+        // ordinal by hand: the batch this would have formed has been routed
+        // through the tail instead.
+        gb->reserved.fetch_add(cap_ - residue, std::memory_order_acq_rel);
+        gb->committed.fetch_add(cap_ - residue, std::memory_order_acq_rel);
+        gb->ordinal.fetch_add(1, std::memory_order_release);
+      }
+    }
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    if (tail_.size() >= cap_) {
+      std::sort(tail_.begin(), tail_.end(), cmp_);
+      const std::size_t full = tail_.size() - tail_.size() % cap_;
+      for (std::size_t off = 0; off < full; off += cap_) {
+        // Subtract from the tail before publishing the batch so a concurrent
+        // size() never counts these elements twice (it may transiently
+        // undercount, which bounded relaxation already permits).
+        tail_size_.fetch_sub(cap_, std::memory_order_acq_rel);
+        install_batch(std::span<const T>(tail_.data() + off, cap_));
+      }
+      tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(full));
+    }
+  }
+
+  // ----- introspection -----------------------------------------------------
+
+  // Elements visible to queries right now (installed batches + tail).
+  std::uint64_t size() const {
+    return tritmap_.load(std::memory_order_acquire).stream_size(opts_.k) +
+           tail_size_.load(std::memory_order_acquire);
+  }
+
+  // Items physically retained in the levels array and tail.
+  std::uint64_t retained() const {
+    const Tritmap tm = tritmap_.load(std::memory_order_acquire);
+    std::uint64_t r = tail_size_.load(std::memory_order_acquire);
+    for (std::uint32_t level = 0; level < tm.num_levels(); ++level) {
+      r += static_cast<std::uint64_t>(tm.trit(level)) * opts_.k;
+    }
+    return r;
+  }
+
+  Tritmap tritmap() const { return tritmap_.load(std::memory_order_acquire); }
+
+  Stats stats() const {
+    Stats s;
+    s.batches = stat_batches_.load(std::memory_order_relaxed);
+    s.propagations = stat_propagations_.load(std::memory_order_relaxed);
+    s.holes = stat_holes_.load(std::memory_order_relaxed);
+    s.query_retries = stat_query_retries_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // ----- queries -----------------------------------------------------------
+
+  // Point-in-time view of the sketch.  refresh() snapshots the tritmap and
+  // copies the referenced arrays; quantile/rank/cdf then answer from the
+  // frozen summary without touching shared state.
+  class Querier {
+   public:
+    explicit Querier(Quancurrent& sketch) : sketch_(&sketch) { refresh(); }
+
+    void refresh() {
+      auto& s = *sketch_;
+      holes_ = 0;
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        // Snapshot validation uses the install sequence number, not tritmap
+        // equality: the tritmap word can return to a previous value (ABA)
+        // after several installs, but install_seq_ is monotonic, so
+        // seq-stable implies no install published during the copy — and
+        // installs only write slots their pre-publish tritmap marks empty,
+        // so every array we copied was stable.
+        const std::uint64_t seq = s.install_seq_.load(std::memory_order_acquire);
+        const Tritmap tm = s.tritmap_.load(std::memory_order_acquire);
+        collect(tm);
+        {
+          // The tail is copied inside the validation loop: quiesce() migrates
+          // tail elements into the levels array, so a snapshot is consistent
+          // only if no install happened after both the levels and the tail
+          // have been read.
+          std::lock_guard<std::mutex> lock(s.tail_mu_);
+          for (const T& v : s.tail_) summary_.emplace_back(v, 1);
+        }
+        const std::uint64_t check = s.install_seq_.load(std::memory_order_acquire);
+        if (check == seq) break;
+        if (attempt + 1 == kSnapshotRetries) {
+          // Accept the snapshot; each racing install may have recycled
+          // arrays under our copy.  Count them as holes, as the paper does.
+          holes_ = check - seq;
+          if (s.opts_.collect_stats) {
+            s.stat_holes_.fetch_add(holes_, std::memory_order_relaxed);
+          }
+          break;
+        }
+        if (s.opts_.collect_stats) {
+          s.stat_query_retries_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::sort(summary_.begin(), summary_.end(), [&](const auto& a, const auto& b) {
+        return s.cmp_(a.first, b.first);
+      });
+      total_weight_ = 0;
+      for (const auto& [item, weight] : summary_) total_weight_ += weight;
+    }
+
+    std::uint64_t size() const { return total_weight_; }
+    std::uint64_t holes() const { return holes_; }
+
+    T quantile(double phi) const {
+      return sketch::weighted_quantile(
+          std::span<const std::pair<T, std::uint64_t>>(summary_), total_weight_, phi);
+    }
+
+    std::uint64_t rank(const T& v) const {
+      return sketch::weighted_rank(std::span<const std::pair<T, std::uint64_t>>(summary_),
+                                   v, sketch_->cmp_);
+    }
+
+    double cdf(const T& v) const {
+      return total_weight_ == 0
+                 ? 0.0
+                 : static_cast<double>(rank(v)) / static_cast<double>(total_weight_);
+    }
+
+   private:
+    static constexpr std::uint32_t kSnapshotRetries = 8;
+
+    void collect(Tritmap tm) {
+      auto& s = *sketch_;
+      summary_.clear();
+      assert(tm.trit(0) == 0);  // published tritmaps always have level 0 drained
+      for (std::uint32_t level = 1; level < tm.num_levels(); ++level) {
+        const std::uint64_t weight = 1ULL << level;
+        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+          T* arr = s.slot_ptr(level, slot);
+          for (std::uint32_t i = 0; i < s.opts_.k; ++i) {
+            // Relaxed atomic load pairs with install_batch's atomic stores:
+            // if an install recycles this slot under us the value is stale or
+            // torn-but-defined, and the validation loop / hole count above
+            // handles it.
+            summary_.emplace_back(std::atomic_ref<T>(arr[i]).load(std::memory_order_relaxed),
+                                  weight);
+          }
+        }
+      }
+    }
+
+    Quancurrent* sketch_;
+    std::vector<std::pair<T, std::uint64_t>> summary_;
+    std::uint64_t total_weight_ = 0;
+    std::uint64_t holes_ = 0;
+  };
+
+  Querier make_querier() { return Querier(*this); }
+
+ private:
+  friend class Updater;
+  friend class Querier;
+
+  static constexpr std::uint32_t kPreallocLevels = Tritmap::kMaxLevels;
+
+  // One Gather&Sort buffer.  All three counters are monotonic: reservation
+  // position p belongs to ordinal p / cap, and a buffer serves ordinal o only
+  // once `ordinal` has advanced to o.
+  struct Gather {
+    explicit Gather(std::uint64_t cap) : slots(cap) {}
+    alignas(64) std::atomic<std::uint64_t> reserved{0};
+    alignas(64) std::atomic<std::uint64_t> committed{0};
+    alignas(64) std::atomic<std::uint64_t> ordinal{0};
+    std::vector<T> slots;
+    std::vector<T> sort_aux;  // owner-only radix scratch
+  };
+
+  struct Node {
+    Node(std::uint32_t rho, std::uint64_t cap) {
+      bufs.reserve(rho);
+      for (std::uint32_t i = 0; i < rho; ++i) bufs.push_back(std::make_unique<Gather>(cap));
+    }
+    alignas(64) std::atomic<std::uint64_t> cur{0};  // generation hint for writers
+    std::vector<std::unique_ptr<Gather>> bufs;
+  };
+
+  T* slot_ptr(std::uint32_t level, std::uint32_t slot) {
+    assert(level < kPreallocLevels && slot < 2);
+    return levels_.data() + (static_cast<std::size_t>(level) * 2 + slot) * opts_.k;
+  }
+
+  // Moves a full local buffer into the node's gather buffer; the committer of
+  // the final slot becomes the batch owner and runs Gather&Sort + install.
+  void flush_chunk(std::uint32_t node_idx, const T* items, std::uint32_t count) {
+    Node& node = *nodes_[node_idx];
+    const std::uint64_t gen = node.cur.load(std::memory_order_acquire);
+    Gather& gb = *node.bufs[gen % opts_.rho];
+    const std::uint64_t pos = gb.reserved.fetch_add(count, std::memory_order_acq_rel);
+    const std::uint64_t ord = pos / cap_;
+    const std::uint64_t off = pos % cap_;
+    if (gb.ordinal.load(std::memory_order_acquire) != ord) {
+      // We reserved into a future generation of this buffer: steer other
+      // writers to the next buffer, then wait for our ordinal to open.
+      std::uint64_t expected = gen;
+      node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
+      while (gb.ordinal.load(std::memory_order_acquire) != ord) {
+        std::this_thread::yield();
+      }
+    }
+    std::copy_n(items, count, gb.slots.data() + off);
+    const std::uint64_t done =
+        gb.committed.fetch_add(count, std::memory_order_acq_rel) + count;
+    if (done == (ord + 1) * cap_) {
+      // Owner: every slot of this ordinal is committed.  Point writers at the
+      // next buffer, Gather&Sort, install, then open the next ordinal.
+      std::uint64_t expected = gen;
+      node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
+      batch_sort(std::span<T>(gb.slots), gb.sort_aux, cmp_);
+      install_batch(std::span<const T>(gb.slots.data(), cap_));
+      gb.ordinal.store(ord + 1, std::memory_order_release);
+    }
+  }
+
+  void push_tail(const T* items, std::uint64_t count) {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    tail_.insert(tail_.end(), items, items + count);
+    tail_size_.fetch_add(count, std::memory_order_acq_rel);
+  }
+
+  // Installs a sorted 2k batch: runs the whole propagation cascade against a
+  // private copy of the tritmap, writing only slots the published tritmap
+  // marks empty, then publishes batch + cascade with a single CAS.
+  void install_batch(std::span<const T> sorted_batch) {
+    while (latch_.test_and_set(std::memory_order_acquire)) std::this_thread::yield();
+    Tritmap published = tritmap_.load(std::memory_order_relaxed);
+    Tritmap tm = published.after_batch_update();
+    // Level 0's two arrays exist only inside `sorted_batch`; each cascade
+    // step compacts a sorted 2k source into the free slot one level up.
+    std::span<const T> source = sorted_batch;
+    std::uint32_t level = 0;
+    std::uint64_t steps = 0;
+    while (tm.trit(level) == 2) {
+      const std::uint32_t dest_level = level + 1;
+      if (dest_level >= kPreallocLevels) {
+        // Reaching here needs ~k * 2^33 elements; fail fast rather than
+        // corrupt the heap.
+        std::fprintf(stderr, "qc::Quancurrent: levels array exhausted (k=%u too small "
+                             "for this stream length)\n", opts_.k);
+        std::abort();
+      }
+      T* dest = slot_ptr(dest_level, tm.trit(dest_level));
+      const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
+      for (std::uint32_t i = 0; i < opts_.k; ++i) {
+        // Atomic store pairs with Querier::collect's relaxed loads; see there.
+        std::atomic_ref<T>(dest[i]).store(source[2 * i + parity],
+                                          std::memory_order_relaxed);
+      }
+      tm = tm.after_install_propagation(level);
+      level = dest_level;
+      ++steps;
+      if (tm.trit(level) == 2) {
+        std::merge(slot_ptr(level, 0), slot_ptr(level, 0) + opts_.k, slot_ptr(level, 1),
+                   slot_ptr(level, 1) + opts_.k, scratch_.begin(), cmp_);
+        source = std::span<const T>(scratch_.data(), cap_);
+      }
+    }
+    const bool swapped = tritmap_.compare_exchange_strong(
+        published, tm, std::memory_order_release, std::memory_order_relaxed);
+    assert(swapped);
+    (void)swapped;
+    install_seq_.fetch_add(1, std::memory_order_release);
+    latch_.clear(std::memory_order_release);
+    if (opts_.collect_stats) {
+      stat_batches_.fetch_add(1, std::memory_order_relaxed);
+      stat_propagations_.fetch_add(steps, std::memory_order_relaxed);
+    }
+  }
+
+  Options opts_;
+  std::uint64_t cap_ = 0;  // gather batch size: 2k
+  Compare cmp_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  // Levels array: kPreallocLevels x 2 slots of k items, fixed storage so
+  // concurrent snapshot reads are always in-bounds.
+  std::vector<T> levels_;
+  std::atomic<Tritmap> tritmap_{Tritmap(0)};
+
+  // Install path (owner-only), serialized by `latch_`.
+  std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
+  std::vector<T> scratch_;
+  Xoshiro256 rng_{0};
+  std::atomic<std::uint64_t> install_seq_{0};  // monotonic; bumped per publish
+
+  // Tail: weight-1 residue from drains and quiesce, outside the tritmap.
+  mutable std::mutex tail_mu_;
+  std::vector<T> tail_;
+  std::atomic<std::uint64_t> tail_size_{0};
+
+  mutable std::atomic<std::uint64_t> stat_batches_{0};
+  mutable std::atomic<std::uint64_t> stat_propagations_{0};
+  mutable std::atomic<std::uint64_t> stat_holes_{0};
+  mutable std::atomic<std::uint64_t> stat_query_retries_{0};
+};
+
+}  // namespace qc::core

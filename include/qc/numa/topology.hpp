@@ -1,0 +1,36 @@
+// Minimal NUMA topology shim.  Quancurrent shards its Gather&Sort buffers per
+// NUMA node; until real libnuma discovery lands, benches model the paper's
+// machine with virtual_nodes(nodes, threads_per_node) and updater threads are
+// mapped to nodes round-robin by thread index.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace qc::numa {
+
+struct Topology {
+  std::uint32_t nodes = 1;
+  std::uint32_t threads_per_node = 0;  // 0 = unspecified
+
+  static Topology virtual_nodes(std::uint32_t nodes, std::uint32_t threads_per_node) {
+    Topology t;
+    t.nodes = nodes == 0 ? 1 : nodes;
+    t.threads_per_node = threads_per_node;
+    return t;
+  }
+
+  static Topology single_node() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return virtual_nodes(1, hw == 0 ? 1 : hw);
+  }
+
+  // Home node for an updater thread: threads fill a node before spilling to
+  // the next, wrapping modulo the node count.
+  std::uint32_t node_of(std::uint32_t thread_index) const {
+    const std::uint32_t per = threads_per_node == 0 ? 1 : threads_per_node;
+    return (thread_index / per) % nodes;
+  }
+};
+
+}  // namespace qc::numa

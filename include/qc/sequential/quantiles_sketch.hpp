@@ -1,0 +1,170 @@
+// Sequential quantiles sketch with k-sized levels — the single-threaded base
+// design that Quancurrent parallelizes (Karnin–Lang–Liberty-style compaction,
+// as used by the paper's sequential baseline).
+//
+// Structure: a 2k-element base buffer of weight-1 items plus a ladder of
+// levels, where level i holds at most one sorted array of exactly k items,
+// each carrying weight 2^i.  When the base buffer fills, it is sorted and
+// compacted (every other element, random parity) into a weight-2 array that
+// propagates up the ladder, merging and re-compacting wherever a level is
+// already occupied.  The expected normalized rank error is O(1/k).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qc::sketch {
+
+// Merges two sorted runs into one sorted vector.
+template <typename T, typename Compare = std::less<T>>
+std::vector<T> merge_sorted(std::span<const T> a, std::span<const T> b,
+                            Compare cmp = Compare()) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out), cmp);
+  return out;
+}
+
+// Keeps the odd- or even-indexed half of a sorted run (the KLL compaction
+// step); the surviving items double their weight.
+template <typename T>
+std::vector<T> sample_odd_or_even(std::span<const T> sorted, bool keep_odd) {
+  std::vector<T> out;
+  out.reserve((sorted.size() + (keep_odd ? 0 : 1)) / 2);
+  for (std::size_t i = keep_odd ? 1 : 0; i < sorted.size(); i += 2) {
+    out.push_back(sorted[i]);
+  }
+  return out;
+}
+
+// Weighted-summary queries shared by the sequential sketch and Quancurrent's
+// Querier.  `summary` is a value-sorted (item, weight) flattening of a
+// sketch; `total_weight` is the stream size it represents.
+
+template <typename T>
+T weighted_quantile(std::span<const std::pair<T, std::uint64_t>> summary,
+                    std::uint64_t total_weight, double phi) {
+  if (summary.empty()) return T{};
+  const double target = std::clamp(phi, 0.0, 1.0) * static_cast<double>(total_weight);
+  std::uint64_t cumulative = 0;
+  for (const auto& [item, weight] : summary) {
+    cumulative += weight;
+    if (static_cast<double>(cumulative) >= target) return item;
+  }
+  return summary.back().first;
+}
+
+template <typename T, typename Compare = std::less<T>>
+std::uint64_t weighted_rank(std::span<const std::pair<T, std::uint64_t>> summary,
+                            const T& v, Compare cmp = Compare()) {
+  std::uint64_t r = 0;
+  for (const auto& [item, weight] : summary) {
+    if (!cmp(item, v)) break;
+    r += weight;
+  }
+  return r;
+}
+
+template <typename T, typename Compare = std::less<T>>
+class QuantilesSketch {
+ public:
+  explicit QuantilesSketch(std::uint32_t k, std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+      : k_(k == 0 ? 1 : k), rng_(seed), cmp_() {
+    base_.reserve(2 * static_cast<std::size_t>(k_));
+  }
+
+  void update(const T& v) {
+    base_.push_back(v);
+    ++n_;
+    dirty_ = true;
+    if (base_.size() == 2 * static_cast<std::size_t>(k_)) compact_base();
+  }
+
+  // Total number of elements fed into the sketch.
+  std::uint64_t size() const { return n_; }
+
+  // Number of items physically stored.
+  std::uint64_t retained() const {
+    std::uint64_t r = base_.size();
+    for (const auto& level : levels_) r += level.size();
+    return r;
+  }
+
+  std::uint32_t k() const { return k_; }
+
+  // Estimated number of stream elements strictly less than `v`.
+  std::uint64_t rank(const T& v) const {
+    build_summary();
+    return weighted_rank(std::span<const std::pair<T, std::uint64_t>>(summary_), v, cmp_);
+  }
+
+  double cdf(const T& v) const {
+    return n_ == 0 ? 0.0 : static_cast<double>(rank(v)) / static_cast<double>(n_);
+  }
+
+  // Estimated phi-quantile: the smallest retained item whose cumulative
+  // weight reaches phi * n.
+  T quantile(double phi) const {
+    if (n_ == 0) return T{};
+    build_summary();
+    return weighted_quantile(std::span<const std::pair<T, std::uint64_t>>(summary_), n_,
+                             phi);
+  }
+
+ private:
+  void compact_base() {
+    std::sort(base_.begin(), base_.end(), cmp_);
+    std::vector<T> carry =
+        sample_odd_or_even(std::span<const T>(base_), rng_.next_bool());
+    base_.clear();
+    propagate(std::move(carry), 1);
+  }
+
+  // Installs a k-sized array at `level`, merging upward while occupied.
+  void propagate(std::vector<T> carry, std::uint32_t level) {
+    for (;; ++level) {
+      if (levels_.size() < level) levels_.resize(level);
+      auto& slot = levels_[level - 1];
+      if (slot.empty()) {
+        slot = std::move(carry);
+        return;
+      }
+      const auto merged =
+          merge_sorted(std::span<const T>(slot), std::span<const T>(carry), cmp_);
+      slot.clear();
+      carry = sample_odd_or_even(std::span<const T>(merged), rng_.next_bool());
+    }
+  }
+
+  void build_summary() const {
+    if (!dirty_) return;
+    summary_.clear();
+    summary_.reserve(retained());
+    for (const auto& v : base_) summary_.emplace_back(v, 1);
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      const std::uint64_t weight = 1ULL << (i + 1);
+      for (const auto& v : levels_[i]) summary_.emplace_back(v, weight);
+    }
+    std::sort(summary_.begin(), summary_.end(),
+              [this](const auto& a, const auto& b) { return cmp_(a.first, b.first); });
+    dirty_ = false;
+  }
+
+  std::uint32_t k_;
+  Xoshiro256 rng_;
+  Compare cmp_;
+  std::uint64_t n_ = 0;
+  std::vector<T> base_;                  // weight-1 items, unsorted
+  std::vector<std::vector<T>> levels_;   // levels_[i]: k items of weight 2^(i+1)
+  mutable std::vector<std::pair<T, std::uint64_t>> summary_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace qc::sketch

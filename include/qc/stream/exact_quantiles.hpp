@@ -1,0 +1,50 @@
+// Exact quantile oracle: sorts the full stream once and answers rank/quantile
+// queries precisely.  Benches compare sketch estimates against this ground
+// truth to report normalized rank error.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qc::stream {
+
+template <typename T>
+class ExactQuantiles {
+ public:
+  explicit ExactQuantiles(std::vector<T> data) : sorted_(std::move(data)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  std::uint64_t size() const { return sorted_.size(); }
+
+  // Number of stream elements strictly less than `v`.
+  std::uint64_t rank(const T& v) const {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(sorted_.begin(), sorted_.end(), v) - sorted_.begin());
+  }
+
+  // The exact phi-quantile: the element of rank floor(phi * n), clamped.
+  T quantile(double phi) const {
+    const auto n = sorted_.size();
+    if (n == 0) return T{};
+    auto idx = static_cast<std::uint64_t>(phi * static_cast<double>(n));
+    if (idx >= n) idx = n - 1;
+    return sorted_[idx];
+  }
+
+  // Normalized rank error of an estimate for the phi-quantile:
+  // |rank(estimate)/n - phi|.
+  double rank_error(const T& estimate, double phi) const {
+    if (sorted_.empty()) return 0.0;
+    const double n = static_cast<double>(sorted_.size());
+    return std::fabs(static_cast<double>(rank(estimate)) / n - phi);
+  }
+
+ private:
+  std::vector<T> sorted_;
+};
+
+}  // namespace qc::stream

@@ -1,0 +1,22 @@
+// Synthetic input streams for benches and tests.  Deterministic per seed so
+// experiments are reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qc::stream {
+
+enum class Distribution {
+  kUniform,  // uniform doubles in [0, 1)
+  kNormal,   // standard normal
+  kZipf,     // heavy-tailed, many duplicates (s = 1.1 over 1M distinct values)
+  kSorted,   // ascending ramp — adversarial for buffer-based sketches
+};
+
+const char* distribution_name(Distribution d);
+
+// Generates `n` doubles drawn from `d`, seeded deterministically.
+std::vector<double> make_stream(Distribution d, std::uint64_t n, std::uint64_t seed);
+
+}  // namespace qc::stream

@@ -1,0 +1,62 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <thread>
+
+namespace qc::env {
+namespace {
+
+std::uint32_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : static_cast<std::uint32_t>(hw);
+}
+
+BenchScale preset(const std::string& name) {
+  // "smoke" is sized so every bench finishes in seconds under ASan; "paper"
+  // matches the experimental setup of the Quancurrent paper (10M elements).
+  if (name == "smoke") return {"smoke", 200'000, 2, 4};
+  if (name == "paper") return {"paper", 10'000'000, 3, std::max(32u, hardware_threads())};
+  return {"small", 1'000'000, 2, std::min(8u, hardware_threads())};
+}
+
+}  // namespace
+
+std::uint64_t get_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  // strtoull silently wraps negative input ("-1" -> 2^64-1); reject it.
+  const char* p = raw;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return (end == raw || errno == ERANGE) ? fallback : static_cast<std::uint64_t>(v);
+}
+
+double get_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end == raw) ? fallback : v;
+}
+
+std::string get_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+BenchScale bench_scale() {
+  BenchScale s = preset(get_str("QC_SCALE", "small"));
+  s.keys = get_u64("QC_KEYS", s.keys);
+  s.runs = static_cast<std::uint32_t>(get_u64("QC_RUNS", s.runs));
+  s.max_threads = static_cast<std::uint32_t>(get_u64("QC_MAX_THREADS", s.max_threads));
+  if (s.keys == 0) s.keys = 1;
+  if (s.runs == 0) s.runs = 1;
+  if (s.max_threads == 0) s.max_threads = 1;
+  return s;
+}
+
+}  // namespace qc::env

@@ -1,0 +1,59 @@
+#include "common/fmt_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace qc {
+namespace {
+
+std::string format(const char* fmt, double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, precision, v);
+  return buf;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
+                   row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  for (const auto w : widths) total += w;
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::integer(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Table::num(double v, int precision) { return format("%.*f", v, precision); }
+
+std::string Table::mops(double ops_per_sec) {
+  return format("%.*f Mop/s", ops_per_sec / 1e6, 2);
+}
+
+std::string Table::percent(double fraction) { return format("%.*f%%", fraction * 100.0, 1); }
+
+}  // namespace qc

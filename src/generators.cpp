@@ -1,0 +1,79 @@
+#include "stream/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace qc::stream {
+namespace {
+
+// Box–Muller on top of Xoshiro256 — avoids libstdc++'s stateful
+// std::normal_distribution so the output is identical across standard
+// library implementations.
+double next_normal(Xoshiro256& rng) {
+  double u1 = rng.next_double();
+  while (u1 <= 0.0) u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+// Exact Zipf(s) over kDistinct ranks by inverse-CDF table + binary search:
+// P(rank = r) proportional to r^-s.  A table costs one pass at stream setup
+// and keeps the tail faithful (a clamped Pareto inversion would pile ~25% of
+// the mass onto the last rank at s = 1.1).
+std::vector<double> zipf_cdf() {
+  constexpr double kS = 1.1;
+  constexpr std::size_t kDistinct = 1'000'000;
+  std::vector<double> cdf(kDistinct);
+  double total = 0.0;
+  for (std::size_t r = 0; r < kDistinct; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -kS);
+    cdf[r] = total;
+  }
+  for (auto& c : cdf) c /= total;
+  return cdf;
+}
+
+double next_zipf(const std::vector<double>& cdf, Xoshiro256& rng) {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<double>((it - cdf.begin()) + 1);
+}
+
+}  // namespace
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kNormal: return "normal";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kSorted: return "sorted";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_stream(Distribution d, std::uint64_t n, std::uint64_t seed) {
+  std::vector<double> out(n);
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  switch (d) {
+    case Distribution::kUniform:
+      for (auto& v : out) v = rng.next_double();
+      break;
+    case Distribution::kNormal:
+      for (auto& v : out) v = next_normal(rng);
+      break;
+    case Distribution::kZipf: {
+      const auto cdf = zipf_cdf();
+      for (auto& v : out) v = next_zipf(cdf, rng);
+      break;
+    }
+    case Distribution::kSorted:
+      for (std::uint64_t i = 0; i < n; ++i) out[i] = static_cast<double>(i);
+      break;
+  }
+  return out;
+}
+
+}  // namespace qc::stream

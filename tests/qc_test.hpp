@@ -1,0 +1,80 @@
+// Minimal single-header test harness: CHECK macros plus a self-registering
+// test list, so the repo needs no external testing dependency.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qc::test {
+
+struct Registry {
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+  std::vector<std::pair<std::string, std::function<void()>>> tests;
+  int failures = 0;
+};
+
+struct Registrar {
+  Registrar(const char* name, std::function<void()> fn) {
+    Registry::instance().tests.emplace_back(name, std::move(fn));
+  }
+};
+
+inline void fail(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "    FAILED %s:%d: %s\n", file, line, what.c_str());
+  ++Registry::instance().failures;
+}
+
+inline int run_all() {
+  auto& reg = Registry::instance();
+  for (auto& [name, fn] : reg.tests) {
+    std::printf("[ RUN ] %s\n", name.c_str());
+    const int before = reg.failures;
+    fn();
+    std::printf("[ %s ] %s\n", reg.failures == before ? " OK " : "FAIL", name.c_str());
+  }
+  std::printf("%zu test(s), %d failure(s)\n", reg.tests.size(), reg.failures);
+  return reg.failures == 0 ? 0 : 1;
+}
+
+}  // namespace qc::test
+
+#define QC_TEST(name)                                              \
+  static void qc_test_##name();                                    \
+  static ::qc::test::Registrar qc_registrar_##name(#name,          \
+                                                   qc_test_##name); \
+  static void qc_test_##name()
+
+#define CHECK(cond)                                                 \
+  do {                                                              \
+    if (!(cond)) ::qc::test::fail(__FILE__, __LINE__, "CHECK(" #cond ")"); \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                          \
+  do {                                                                          \
+    const auto qc_va = (a);                                                     \
+    const auto qc_vb = (b);                                                     \
+    if (!(qc_va == qc_vb))                                                      \
+      ::qc::test::fail(__FILE__, __LINE__,                                      \
+                       "CHECK_EQ(" #a ", " #b "): " + std::to_string(qc_va) +   \
+                           " vs " + std::to_string(qc_vb));                     \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                                   \
+  do {                                                                          \
+    const auto qc_va = (a);                                                     \
+    const auto qc_vb = (b);                                                     \
+    if (!(std::fabs(qc_va - qc_vb) <= (tol)))                                   \
+      ::qc::test::fail(__FILE__, __LINE__,                                      \
+                       "CHECK_NEAR(" #a ", " #b "): " + std::to_string(qc_va) + \
+                           " vs " + std::to_string(qc_vb) + " tol " +           \
+                           std::to_string(tol));                                \
+  } while (0)
+
+#define QC_TEST_MAIN() \
+  int main() { return ::qc::test::run_all(); }

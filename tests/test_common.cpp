@@ -1,0 +1,59 @@
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "qc_test.hpp"
+
+QC_TEST(env_get_u64_parses_and_falls_back) {
+  ::setenv("QC_TEST_U64", "1234", 1);
+  CHECK_EQ(qc::env::get_u64("QC_TEST_U64", 7), 1234u);
+  ::setenv("QC_TEST_U64", "not a number", 1);
+  CHECK_EQ(qc::env::get_u64("QC_TEST_U64", 7), 7u);
+  ::unsetenv("QC_TEST_U64");
+  CHECK_EQ(qc::env::get_u64("QC_TEST_U64", 7), 7u);
+}
+
+QC_TEST(env_bench_scale_presets_and_overrides) {
+  ::setenv("QC_SCALE", "smoke", 1);
+  ::unsetenv("QC_KEYS");
+  ::unsetenv("QC_RUNS");
+  ::unsetenv("QC_MAX_THREADS");
+  auto s = qc::env::bench_scale();
+  CHECK_EQ(s.keys, 200'000u);
+  CHECK_EQ(s.runs, 2u);
+  CHECK_EQ(s.max_threads, 4u);
+  ::setenv("QC_KEYS", "555", 1);
+  s = qc::env::bench_scale();
+  CHECK_EQ(s.keys, 555u);
+  ::unsetenv("QC_KEYS");
+  ::unsetenv("QC_SCALE");
+}
+
+QC_TEST(rng_is_deterministic_and_in_range) {
+  qc::Xoshiro256 a(42), b(42), c(43);
+  CHECK_EQ(a(), b());
+  CHECK(a() != c());  // overwhelmingly likely for distinct seeds
+  for (int i = 0; i < 1000; ++i) {
+    const double d = a.next_double();
+    CHECK(d >= 0.0 && d < 1.0);
+  }
+}
+
+QC_TEST(table_formatters) {
+  CHECK(qc::Table::integer(42) == "42");
+  CHECK(qc::Table::num(1.23456, 2) == "1.23");
+  CHECK(qc::Table::mops(12'340'000.0) == "12.34 Mop/s");
+  CHECK(qc::Table::percent(0.421) == "42.1%");
+}
+
+QC_TEST(timer_is_monotonic) {
+  qc::Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  CHECK(a >= 0.0);
+  CHECK(b >= a);
+}
+
+QC_TEST_MAIN()

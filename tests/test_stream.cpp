@@ -1,0 +1,68 @@
+#include <algorithm>
+
+#include "qc_test.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+using qc::stream::Distribution;
+
+QC_TEST(make_stream_is_deterministic_per_seed) {
+  const auto a = qc::stream::make_stream(Distribution::kUniform, 1000, 7);
+  const auto b = qc::stream::make_stream(Distribution::kUniform, 1000, 7);
+  const auto c = qc::stream::make_stream(Distribution::kUniform, 1000, 8);
+  CHECK_EQ(a.size(), 1000u);
+  CHECK(a == b);
+  CHECK(a != c);
+}
+
+QC_TEST(make_stream_distribution_shapes) {
+  const auto uniform = qc::stream::make_stream(Distribution::kUniform, 10'000, 1);
+  CHECK(std::all_of(uniform.begin(), uniform.end(),
+                    [](double v) { return v >= 0.0 && v < 1.0; }));
+
+  const auto sorted = qc::stream::make_stream(Distribution::kSorted, 100, 1);
+  CHECK(std::is_sorted(sorted.begin(), sorted.end()));
+
+  // A standard normal sample of 10k has mean within ~4 sigma/sqrt(n) of 0.
+  const auto normal = qc::stream::make_stream(Distribution::kNormal, 10'000, 1);
+  double mean = 0;
+  for (const double v : normal) mean += v;
+  mean /= static_cast<double>(normal.size());
+  CHECK_NEAR(mean, 0.0, 0.04);
+}
+
+QC_TEST(zipf_is_heavy_tailed_without_endpoint_point_mass) {
+  const auto z = qc::stream::make_stream(Distribution::kZipf, 20'000, 9);
+  const double top = *std::max_element(z.begin(), z.end());
+  std::size_t rank_one = 0, at_top = 0;
+  for (const double v : z) {
+    rank_one += v == 1.0;
+    at_top += v == top;
+  }
+  // Rank 1 carries ~12% of the mass at s=1.1 over 1M ranks; the largest
+  // sampled rank must be rare (a clamped-Pareto bug once put ~25% there).
+  CHECK(rank_one > z.size() / 20);
+  CHECK(at_top < z.size() / 50);
+}
+
+QC_TEST(distribution_names) {
+  CHECK(std::string(qc::stream::distribution_name(Distribution::kUniform)) == "uniform");
+  CHECK(std::string(qc::stream::distribution_name(Distribution::kNormal)) == "normal");
+}
+
+QC_TEST(exact_quantiles_rank_and_quantile) {
+  std::vector<double> data;
+  for (int i = 99; i >= 0; --i) data.push_back(i);  // 0..99 shuffled-ish
+  qc::stream::ExactQuantiles<double> exact(std::move(data));
+  CHECK_EQ(exact.size(), 100u);
+  CHECK_EQ(exact.rank(0.0), 0u);
+  CHECK_EQ(exact.rank(50.0), 50u);
+  CHECK_EQ(exact.rank(1000.0), 100u);
+  CHECK_NEAR(exact.quantile(0.5), 50.0, 1e-9);
+  CHECK_NEAR(exact.quantile(0.0), 0.0, 1e-9);
+  CHECK_NEAR(exact.quantile(1.0), 99.0, 1e-9);
+  CHECK_NEAR(exact.rank_error(50.0, 0.5), 0.0, 1e-9);
+  CHECK_NEAR(exact.rank_error(60.0, 0.5), 0.1, 1e-9);
+}
+
+QC_TEST_MAIN()

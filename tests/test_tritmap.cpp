@@ -1,0 +1,93 @@
+#include <atomic>
+
+#include "atomics/tritmap.hpp"
+#include "qc_test.hpp"
+
+using qc::Tritmap;
+
+QC_TEST(empty_tritmap) {
+  const Tritmap t;
+  CHECK_EQ(t.raw(), 0u);
+  CHECK_EQ(t.stream_size(4096), 0u);
+  CHECK_EQ(t.num_levels(), 0u);
+  for (std::uint32_t level = 0; level < Tritmap::kMaxLevels; ++level) {
+    CHECK_EQ(t.trit(level), 0u);
+  }
+}
+
+QC_TEST(with_trit_round_trips) {
+  Tritmap t;
+  for (std::uint32_t level = 0; level < 20; ++level) {
+    t = t.with_trit(level, 1 + level % 2);
+  }
+  for (std::uint32_t level = 0; level < 20; ++level) {
+    CHECK_EQ(t.trit(level), 1 + level % 2);
+  }
+  CHECK_EQ(t.num_levels(), 20u);
+  t = t.with_trit(5, 0);
+  CHECK_EQ(t.trit(5), 0u);
+  CHECK_EQ(t.trit(4), 1u);  // neighbours untouched
+  CHECK_EQ(t.trit(6), 1u);
+}
+
+QC_TEST(stream_size_weights_levels_by_two_to_the_i) {
+  const std::uint64_t k = 256;
+  Tritmap t;
+  t = t.with_trit(1, 1);  // k * 2
+  t = t.with_trit(3, 2);  // 2 * k * 8
+  CHECK_EQ(t.stream_size(k), k * 2 + 2 * k * 8);
+}
+
+QC_TEST(batch_update_adds_two_level_zero_arrays) {
+  const Tritmap t;
+  const Tritmap u = t.after_batch_update();
+  CHECK_EQ(u.trit(0), 2u);
+  CHECK_EQ(u.stream_size(1024), 2 * 1024u);
+}
+
+QC_TEST(propagation_preserves_stream_size) {
+  const std::uint64_t k = 512;
+  Tritmap t = Tritmap().after_batch_update();  // level 0: two arrays
+  const std::uint64_t before = t.stream_size(k);
+  t = t.after_install_propagation(0);
+  CHECK_EQ(t.trit(0), 0u);
+  CHECK_EQ(t.trit(1), 1u);
+  CHECK_EQ(t.stream_size(k), before);
+
+  // Cascade: fill level 1 to two arrays, propagate again.
+  t = t.after_batch_update().after_install_propagation(0);
+  CHECK_EQ(t.trit(1), 2u);
+  const std::uint64_t mid = t.stream_size(k);
+  t = t.after_install_propagation(1);
+  CHECK_EQ(t.trit(1), 0u);
+  CHECK_EQ(t.trit(2), 1u);
+  CHECK_EQ(t.stream_size(k), mid);
+}
+
+QC_TEST(full_ingest_transition_sequence) {
+  // Simulate installing 8 batches of 2k: the occupancy must walk like a
+  // binary counter and the size must always equal batches * 2k.
+  const std::uint64_t k = 128;
+  Tritmap t;
+  for (std::uint64_t batch = 1; batch <= 8; ++batch) {
+    t = t.after_batch_update();
+    for (std::uint32_t level = 0; t.trit(level) == 2; ++level) {
+      t = t.after_install_propagation(level);
+    }
+    CHECK_EQ(t.stream_size(k), batch * 2 * k);
+    CHECK_EQ(t.trit(0), 0u);  // level 0 always drains
+  }
+  // 8 batches = 16k total = one array at level 4 (16 * k * 1).
+  CHECK_EQ(t.trit(4), 1u);
+  CHECK_EQ(t.num_levels(), 5u);
+}
+
+QC_TEST(atomic_tritmap_is_lock_free) {
+  std::atomic<Tritmap> tm{Tritmap(0)};
+  CHECK(tm.is_lock_free());
+  Tritmap expected = Tritmap(0);
+  CHECK(tm.compare_exchange_strong(expected, Tritmap(0).after_batch_update()));
+  CHECK_EQ(tm.load().trit(0), 2u);
+}
+
+QC_TEST_MAIN()
