@@ -2,8 +2,11 @@
 // Paper parameters: k = 4096, b = 16, 10M elements; Quancurrent scales
 // linearly, reaching 12x the sequential sketch at 32 threads.
 //
-// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+// Writes BENCH_ingest.json when QC_BENCH_JSON is set.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B, QC_BENCH_JSON.
 #include <cstdio>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
@@ -29,6 +32,7 @@ int main() {
     return throughput(data.size(), bench::ingest_sequential(seq, data));
   });
 
+  bench::JsonSeries json("fig06a_update_scaling", scale.name, "ops_per_sec");
   Table t({"threads", "quancurrent", "sequential", "speedup"});
   for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
     const double tput = bench::average_runs(scale.runs, [&] {
@@ -39,9 +43,16 @@ int main() {
       core::Quancurrent<double> sk(o);
       return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));
     });
+    json.add(threads, tput);
     t.add_row({Table::integer(threads), Table::mops(tput), Table::mops(seq_tput),
                Table::num(tput / seq_tput, 2) + "x"});
   }
   t.print();
+
+  const std::string dir = bench::json_out_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_ingest.json";
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -1,9 +1,21 @@
 // Figure 6b: query-only throughput vs. number of query threads.
-// Paper parameters: k = 4096, b = 16; 10M elements pre-filled, then 10M
-// queries; linear scaling to 30x the sequential sketch at 32 threads.
+// Paper parameters: k = 4096, b = 16; 10M elements pre-filled, then queries
+// from up to 32 threads; linear scaling to 30x the sequential sketch.
 //
-// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B, QC_QUERIES.
+// Each Quancurrent query is a snapshot refresh plus a quantile: refresh is
+// the incremental tritmap-diff path (O(1) on a quiesced sketch), quantile a
+// binary search over the frozen prefix-weight summary.  The sequential
+// baseline answers from the same binary-searched summary representation,
+// queried from one thread.
+//
+// Reports queries/sec, refresh p50/p99, and hole/retry counts via the
+// bench_util query stats; writes BENCH_query.json when QC_BENCH_JSON is set.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B, QC_QUERIES,
+// QC_BENCH_JSON.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
@@ -26,41 +38,55 @@ int main() {
   core::Options o;
   o.k = k;
   o.b = b;
+  o.collect_stats = true;
   o.topology = numa::Topology::virtual_nodes(4, 8);
   core::Quancurrent<double> sk(o);
   const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 11);
   bench::ingest_quancurrent(sk, data, std::min<std::uint32_t>(8, scale.max_threads),
                             /*quiesce=*/true);
 
-  // Sequential baseline: the sequential sketch rebuilds its sample view per
-  // query (its query path per §2.2).
+  // Sequential baseline: one sketch queried from one thread.
   sketch::QuantilesSketch<double> seq(k);
   for (double x : data) seq.update(x);
-  const std::uint64_t seq_queries = std::max<std::uint64_t>(total_queries / 1000, 10);
+  (void)seq.quantile(0.5);  // build the lazy summary outside the timed loop
+  const std::uint64_t seq_queries = std::max<std::uint64_t>(total_queries / 100, 100);
   Timer seq_timer;
+  double phi = 0.001;
   for (std::uint64_t i = 0; i < seq_queries; ++i) {
-    (void)seq.quantile(0.001 * static_cast<double>(i % 999 + 1));
+    (void)seq.quantile(phi);
+    phi += 0.001;
+    if (phi >= 1.0) phi = 0.001;
   }
-  const double seq_tput = throughput(seq_queries, seq_timer.elapsed_seconds());
+  const double seq_tput = throughput(seq_queries, seq_timer.seconds());
 
-  Table t({"threads", "quancurrent", "sequential", "speedup"});
+  bench::JsonSeries json("fig06b_query_scaling", scale.name, "queries_per_sec");
+  Table t({"threads", "queries/s", "speedup", "p50_us", "p99_us", "holes", "retries"});
   for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
-    const std::uint64_t per_thread = total_queries / threads;
-    const double tput = bench::average_runs(scale.runs, [&] {
-      const double secs = bench::timed_parallel(threads, [&](std::uint32_t t) {
-        auto q = sk.make_querier();
-        double phi = 0.001 * (t + 1);
-        for (std::uint64_t i = 0; i < per_thread; ++i) {
-          (void)q.quantile(phi);
-          phi += 0.001;
-          if (phi >= 1.0) phi = 0.001;
-        }
-      });
-      return throughput(per_thread * threads, secs);
-    });
-    t.add_row({Table::integer(threads), Table::mops(tput), Table::mops(seq_tput),
-               Table::num(tput / seq_tput, 2) + "x"});
+    // Every column aggregates the same scale.runs runs: throughput and
+    // latency percentiles are averaged, hole/retry counters summed.
+    double qps = 0.0, p50 = 0.0, p99 = 0.0;
+    std::uint64_t holes = 0, retries = 0;
+    const std::uint32_t runs = std::max(scale.runs, 1u);
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      const auto stats = bench::run_query_load(sk, threads, total_queries / threads);
+      qps += stats.queries_per_sec / runs;
+      p50 += stats.refresh_p50_us / runs;
+      p99 += stats.refresh_p99_us / runs;
+      holes += stats.holes;
+      retries += stats.query_retries;
+    }
+    json.add(threads, qps);
+    t.add_row({Table::integer(threads), Table::mops(qps),
+               Table::num(qps / seq_tput, 2) + "x", Table::num(p50, 3),
+               Table::num(p99, 3), Table::integer(holes), Table::integer(retries)});
   }
   t.print();
+  std::printf("sequential baseline: %s\n", Table::mops(seq_tput).c_str());
+
+  const std::string dir = bench::json_out_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_query.json";
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

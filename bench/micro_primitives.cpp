@@ -1,185 +1,178 @@
-// Micro-benchmarks for Quancurrent's substrates: MCAS/DCAS, tritmap
-// arithmetic, IBR allocation/retirement, sorting and sampling primitives.
-// These quantify the constants behind the figure-level results (e.g. the
-// cost of one DCAS bounds the batch-update rate: one DCAS per 2k elements).
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks for the engine's primitives, centered on the query path:
+// merge-based summary refresh vs. the old global-sort refresh, incremental
+// (tritmap-diff) refresh vs. full re-copy, binary-search quantiles vs. the
+// old linear scan, plus the ingest-side substrates (batch radix sort,
+// tritmap arithmetic).  These quantify the constants behind fig06b/fig06c.
+//
+// Env: QC_SCALE/QC_KEYS, QC_K, QC_B.
 #include <algorithm>
-#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <span>
 #include <vector>
 
-#include "atomics/mcas.hpp"
 #include "atomics/tritmap.hpp"
-#include "common/rng.hpp"
-#include "core/owner_sort.hpp"
-#include "reclamation/ibr.hpp"
-#include "sequential/quantiles_sketch.hpp"
+#include "bench_util/harness.hpp"
+#include "bench_util/workload.hpp"
+#include "common/env.hpp"
+#include "common/fmt_table.hpp"
+#include "common/timer.hpp"
+#include "core/batch_sort.hpp"
+#include "core/quancurrent.hpp"
+#include "core/run_merge.hpp"
 #include "stream/generators.hpp"
 
 namespace {
 
-void BM_TritmapStreamSize(benchmark::State& state) {
-  qc::Tritmap t(0);
-  for (std::uint32_t i = 0; i < 20; ++i) t = t.with_trit(i, 1 + (i % 2));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.stream_size(4096));
-  }
+// Keeps `v` observable so the compiler cannot elide the benchmarked work.
+template <typename T>
+inline void keep(const T& v) {
+  asm volatile("" : : "g"(v) : "memory");
 }
-BENCHMARK(BM_TritmapStreamSize);
 
-void BM_TritmapTransition(benchmark::State& state) {
-  qc::Tritmap t(0);
-  for (auto _ : state) {
-    qc::Tritmap u = t.after_batch_update();
-    benchmark::DoNotOptimize(u.after_install_propagation(0));
-  }
+// Average seconds per call of fn() over `iters` calls.
+template <typename Fn>
+double time_per_op(std::uint64_t iters, Fn&& fn) {
+  qc::Timer t;
+  for (std::uint64_t i = 0; i < iters; ++i) fn();
+  return t.seconds() / static_cast<double>(iters);
 }
-BENCHMARK(BM_TritmapTransition);
 
-void BM_SingleWordCas(benchmark::State& state) {
-  std::atomic<std::uint64_t> w{0};
-  std::uint64_t v = 0;
-  for (auto _ : state) {
-    w.compare_exchange_strong(v, v + 1);
-    ++v;
-  }
-}
-BENCHMARK(BM_SingleWordCas);
-
-void BM_Dcas(benchmark::State& state) {
-  qc::ibr::Domain domain;
-  qc::mcas::Mcas mcas(domain);
-  auto th = domain.register_thread();
-  std::atomic<qc::mcas::Word> a{0}, b{0};
-  qc::mcas::Word va = 0, vb = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mcas.dcas(th, a, va, va + 1, b, vb, vb + 1));
-    ++va;
-    ++vb;
-  }
-}
-BENCHMARK(BM_Dcas);
-
-void BM_DcasRead(benchmark::State& state) {
-  qc::ibr::Domain domain;
-  qc::mcas::Mcas mcas(domain);
-  auto th = domain.register_thread();
-  std::atomic<qc::mcas::Word> a{42};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mcas.read(th, a));
-  }
-}
-BENCHMARK(BM_DcasRead);
-
-void BM_IbrAllocRetire(benchmark::State& state) {
-  qc::ibr::Domain domain;
-  auto th = domain.register_thread();
-  for (auto _ : state) {
-    int* p = domain.make<int>(th, 1);
-    domain.retire(th, p);
-  }
-}
-BENCHMARK(BM_IbrAllocRetire);
-
-void BM_IbrGuard(benchmark::State& state) {
-  qc::ibr::Domain domain;
-  auto th = domain.register_thread();
-  std::atomic<std::uint64_t> w{7};
-  for (auto _ : state) {
-    qc::ibr::Guard g(th);
-    benchmark::DoNotOptimize(g.protect_word(w));
-  }
-}
-BENCHMARK(BM_IbrGuard);
-
-void BM_SortBatch(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  auto data = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 3);
-  std::vector<double> scratch(2 * k);
-  for (auto _ : state) {
-    std::copy(data.begin(), data.end(), scratch.begin());
-    std::sort(scratch.begin(), scratch.end());
-    benchmark::DoNotOptimize(scratch.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
-}
-BENCHMARK(BM_SortBatch)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_MergeAndSample(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  auto a = qc::stream::make_stream(qc::stream::Distribution::kUniform, k, 5);
-  auto b = qc::stream::make_stream(qc::stream::Distribution::kUniform, k, 6);
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  bool coin = false;
-  for (auto _ : state) {
-    auto merged = qc::sketch::merge_sorted(std::span<const double>(a), std::span<const double>(b));
-    auto sampled = qc::sketch::sample_odd_or_even(std::span<const double>(merged), coin);
-    coin = !coin;
-    benchmark::DoNotOptimize(sampled.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
-}
-BENCHMARK(BM_MergeAndSample)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_SequentialSketchUpdate(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
-  auto data = qc::stream::make_stream(qc::stream::Distribution::kUniform, 1 << 16, 7);
-  qc::sketch::QuantilesSketch<double> sk(k);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    sk.update(data[i]);
-    i = (i + 1) % data.size();
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SequentialSketchUpdate)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_Xoshiro(benchmark::State& state) {
-  qc::Xoshiro256 rng(1);
-  for (auto _ : state) benchmark::DoNotOptimize(rng());
-}
-BENCHMARK(BM_Xoshiro);
-
-// Owner-copy sorting: std::sort of the full 2k copy vs merging the
-// b-sorted writer runs (core/owner_sort.hpp) — the propagation-cost
-// optimization DESIGN.md calls out.
-void BM_OwnerSortStd(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const std::size_t b = 16;
-  auto runs = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 9);
-  for (std::size_t begin = 0; begin < runs.size(); begin += b) {
-    std::sort(runs.begin() + begin, runs.begin() + begin + b);
-  }
-  std::vector<double> scratch;
-  for (auto _ : state) {
-    scratch = runs;
-    qc::core::sort_owner_copy(scratch, static_cast<std::uint32_t>(b),
-                              qc::core::OwnerSortStrategy::kStdSort, std::less<double>());
-    benchmark::DoNotOptimize(scratch.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
-}
-BENCHMARK(BM_OwnerSortStd)->Arg(1024)->Arg(4096);
-
-void BM_OwnerSortRunMerge(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const std::size_t b = 16;
-  auto runs = qc::stream::make_stream(qc::stream::Distribution::kUniform, 2 * k, 9);
-  for (std::size_t begin = 0; begin < runs.size(); begin += b) {
-    std::sort(runs.begin() + begin, runs.begin() + begin + b);
-  }
-  std::vector<double> scratch;
-  for (auto _ : state) {
-    scratch = runs;
-    qc::core::sort_owner_copy(scratch, static_cast<std::uint32_t>(b),
-                              qc::core::OwnerSortStrategy::kRunMerge, std::less<double>());
-    benchmark::DoNotOptimize(scratch.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * k));
-}
-BENCHMARK(BM_OwnerSortRunMerge)->Arg(1024)->Arg(4096);
+std::string nanos(double seconds) { return qc::Table::num(seconds * 1e9, 1) + " ns"; }
+std::string micros(double seconds) { return qc::Table::num(seconds * 1e6, 2) + " us"; }
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace qc;
+  const auto scale = env::bench_scale();
+  const std::uint32_t k = static_cast<std::uint32_t>(env::get_u64("QC_K", 4096));
+  const std::uint32_t b = static_cast<std::uint32_t>(env::get_u64("QC_B", 16));
+
+  std::printf("=== micro_primitives ===\n");
+  std::printf("k=%u b=%u n=%llu\n\n", k, b,
+              static_cast<unsigned long long>(scale.keys));
+
+  Table t({"case", "time/op", "note"});
+
+  // ----- query path: refresh strategies on a quiesced sketch ---------------
+  core::Options o;
+  o.k = k;
+  o.b = b;
+  core::Quancurrent<double> sk(o);
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 7);
+  bench::ingest_quancurrent(sk, data, 4, /*quiesce=*/true);
+  const std::uint64_t retained = sk.retained();
+  const std::uint64_t refresh_iters = std::clamp<std::uint64_t>(
+      50'000'000 / std::max<std::uint64_t>(retained, 1), 10, 2000);
+
+  auto q = sk.make_querier();
+  q.set_sort_baseline(true);
+  const double sort_refresh =
+      time_per_op(refresh_iters, [&] { q.refresh_full(); });
+  q.set_sort_baseline(false);
+  const double merge_refresh =
+      time_per_op(refresh_iters, [&] { q.refresh_full(); });
+  const double incr_refresh = time_per_op(refresh_iters * 100, [&] { q.refresh(); });
+
+  t.add_row({"refresh: global sort (old)", micros(sort_refresh),
+             "R=" + Table::integer(retained)});
+  t.add_row({"refresh: multiway merge", micros(merge_refresh),
+             Table::num(sort_refresh / merge_refresh, 2) + "x vs sort"});
+  t.add_row({"refresh: incremental (no change)", nanos(incr_refresh), "O(1) fast path"});
+
+  // ----- query path: quantile/rank on a frozen snapshot --------------------
+  q.refresh();
+  const auto& summary = q.summary();
+  double phi = 0.0;
+  const double quantile_bsearch = time_per_op(1'000'000, [&] {
+    phi += 0.001;
+    if (phi >= 1.0) phi = 0.001;
+    keep(q.quantile(phi));
+  });
+  // The old linear scan over the summary, for comparison.
+  phi = 0.0;
+  const double quantile_linear = time_per_op(
+      retained > 4'000'000 ? 10'000 : 100'000, [&] {
+        phi += 0.001;
+        if (phi >= 1.0) phi = 0.001;
+        const auto prefix = summary.prefix_weights();
+        const double target = phi * static_cast<double>(summary.total_weight());
+        std::size_t i = 0;
+        while (i < prefix.size() && static_cast<double>(prefix[i]) < target) ++i;
+        keep(summary.items()[std::min(i, summary.items().size() - 1)]);
+      });
+  double rv = 0.0;
+  const double rank_bsearch = time_per_op(1'000'000, [&] {
+    rv += 0.001;
+    if (rv >= 1.0) rv = 0.001;
+    keep(q.rank(rv));
+  });
+  t.add_row({"quantile: binary search", nanos(quantile_bsearch), "O(log R)"});
+  t.add_row({"quantile: linear scan (old)", nanos(quantile_linear),
+             Table::num(quantile_linear / quantile_bsearch, 1) + "x slower"});
+  t.add_row({"rank: binary search", nanos(rank_bsearch), "O(log R)"});
+
+  // ----- merge primitive on synthetic runs ---------------------------------
+  {
+    const std::size_t levels = 16;
+    std::vector<std::vector<double>> run_data(levels);
+    std::vector<core::RunRef<double>> runs;
+    for (std::size_t l = 0; l < levels; ++l) {
+      run_data[l] = stream::make_stream(stream::Distribution::kUniform, k, 100 + l);
+      std::sort(run_data[l].begin(), run_data[l].end());
+      runs.push_back({run_data[l].data(), run_data[l].size(), 1ULL << l});
+    }
+    core::WeightedSummary<double> out;
+    core::RunMerger<double> merger;
+    std::vector<std::pair<double, std::uint64_t>> scratch;
+    const auto span = std::span<const core::RunRef<double>>(runs);
+    const double merge_t =
+        time_per_op(200, [&] { merger.merge(span, out); });
+    const double sort_t =
+        time_per_op(200, [&] { core::sort_merge_runs(span, out, scratch); });
+    t.add_row({"merge_runs (16 x k)", micros(merge_t), "loser tree"});
+    t.add_row({"sort_merge_runs (16 x k)", micros(sort_t),
+               Table::num(sort_t / merge_t, 2) + "x vs merge"});
+  }
+
+  // ----- ingest substrates -------------------------------------------------
+  {
+    auto batch = stream::make_stream(stream::Distribution::kUniform, 2 * k, 3);
+    std::vector<double> work(batch.size());
+    std::vector<double> aux;
+    const double radix_t = time_per_op(200, [&] {
+      std::copy(batch.begin(), batch.end(), work.begin());
+      core::batch_sort(std::span<double>(work), aux);
+      keep(work.data());
+    });
+    const double std_t = time_per_op(200, [&] {
+      std::copy(batch.begin(), batch.end(), work.begin());
+      std::sort(work.begin(), work.end());
+      keep(work.data());
+    });
+    t.add_row({"batch_sort (radix, 2k)", micros(radix_t), ""});
+    t.add_row({"std::sort (2k)", micros(std_t),
+               Table::num(std_t / radix_t, 2) + "x vs radix"});
+
+    Tritmap tm(0);
+    for (std::uint32_t i = 0; i < 20; ++i) tm = tm.with_trit(i, 1 + (i % 2));
+    const double size_t_ = time_per_op(1'000'000, [&] { keep(tm.stream_size(k)); });
+    const double trans_t = time_per_op(1'000'000, [&] {
+      const Tritmap u = tm.with_trit(0, 0).after_batch_update();
+      keep(u.after_install_propagation(0));
+    });
+    t.add_row({"tritmap stream_size", nanos(size_t_), ""});
+    t.add_row({"tritmap batch+propagate", nanos(trans_t), ""});
+  }
+
+  t.print();
+
+  if (merge_refresh < sort_refresh) {
+    std::printf("\nmerge-based refresh beats sort-based refresh by %.2fx\n",
+                sort_refresh / merge_refresh);
+  } else {
+    std::printf("\nWARNING: merge-based refresh did NOT beat sort-based refresh\n");
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs every built bench binary at smoke scale and fails if any exits
-# non-zero.  Usage: bench/run_all.sh [build-dir]   (default: build)
+# non-zero.  Benches that track a perf trajectory (fig06a -> BENCH_ingest,
+# fig06b -> BENCH_query) drop their JSON into QC_BENCH_JSON (default: the
+# build dir), where CI picks them up as artifacts.
+# Usage: bench/run_all.sh [build-dir]   (default: build)
 set -u
 
 build_dir="${1:-build}"
@@ -12,6 +15,8 @@ if [ ! -d "${bench_dir}" ]; then
 fi
 
 export QC_SCALE="${QC_SCALE:-smoke}"
+export QC_BENCH_JSON="${QC_BENCH_JSON:-${build_dir}}"
+mkdir -p "${QC_BENCH_JSON}"
 
 failures=0
 ran=0
@@ -30,6 +35,15 @@ if [ "${ran}" -eq 0 ]; then
   echo "error: no bench binaries found in ${bench_dir}" >&2
   exit 2
 fi
+
+for json in BENCH_ingest.json BENCH_query.json; do
+  if [ -f "${QC_BENCH_JSON}/${json}" ]; then
+    echo "perf artifact: ${QC_BENCH_JSON}/${json}"
+  else
+    echo "*** expected perf artifact ${QC_BENCH_JSON}/${json} was not written" >&2
+    failures=$((failures + 1))
+  fi
+done
 
 echo "${ran} bench(es) run, ${failures} failure(s)"
 exit "$((failures > 0 ? 1 : 0))"

@@ -1,13 +1,18 @@
 // Shared measurement scaffolding for the figure benches: run averaging,
-// thread sweeps, phi grids, and throughput conversion.
+// thread sweeps, phi grids, throughput conversion, latency percentiles, and
+// the JSON series emitter CI tracks perf trajectories with.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/timer.hpp"
 
 namespace qc {
@@ -87,6 +92,66 @@ double timed_parallel(std::uint32_t threads, Fn&& fn) {
   for (auto& th : pool) th.join();
   return timer.seconds();
 }
+
+// The q-th percentile (q in [0, 1]) of an unsorted sample set, by partial
+// selection; reorders `samples`.  Returns 0 for an empty set.
+inline double percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) + 0.5));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx), samples.end());
+  return samples[idx];
+}
+
+// Concurrent-query measurements reported by the query/mixed workloads:
+// throughput plus snapshot-refresh latency percentiles and the sketch's
+// hole/retry counters over the measured interval.
+struct QueryLoadStats {
+  double queries_per_sec = 0.0;
+  double refresh_p50_us = 0.0;
+  double refresh_p99_us = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t holes = 0;
+  std::uint64_t query_retries = 0;
+};
+
+// Directory benches drop BENCH_*.json files into; "" (unset) disables JSON
+// output.  Set by bench/run_all.sh and CI via QC_BENCH_JSON.
+inline std::string json_out_dir() { return env::get_str("QC_BENCH_JSON", ""); }
+
+// Accumulates a (threads -> value) series and writes it as a small JSON
+// document — the machine-readable perf trajectory CI uploads as an artifact.
+class JsonSeries {
+ public:
+  JsonSeries(std::string bench, std::string scale, std::string metric)
+      : bench_(std::move(bench)), scale_(std::move(scale)), metric_(std::move(metric)) {}
+
+  void add(std::uint32_t threads, double value) { points_.emplace_back(threads, value); }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n  \"metric\": \"%s\",\n",
+                 bench_.c_str(), scale_.c_str(), metric_.c_str());
+    std::fprintf(f, "  \"points\": [");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"threads\": %u, \"value\": %.17g}", i == 0 ? "" : ",",
+                   points_[i].first, points_[i].second);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string scale_;
+  std::string metric_;
+  std::vector<std::pair<std::uint32_t, double>> points_;
+};
 
 }  // namespace bench
 }  // namespace qc

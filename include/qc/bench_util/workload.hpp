@@ -1,7 +1,10 @@
-// Canned ingestion workloads shared by the figure benches.
+// Canned ingestion and query workloads shared by the figure benches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench_util/harness.hpp"
@@ -37,6 +40,131 @@ double ingest_quancurrent(core::Quancurrent<T>& sketch, const std::vector<T>& da
   Timer drain_timer;
   sketch.quiesce();
   return seconds + drain_timer.seconds();
+}
+
+// Refresh-latency sampling cadence: timing every refresh would swamp the
+// fast incremental path, so workloads time one refresh in every
+// kLatencySamplePeriod queries.
+inline constexpr std::uint64_t kLatencySamplePeriod = 64;
+
+// The query inner loop shared by the query-only and mixed workloads: one
+// refresh + one quantile per query, phi sweeping (0, 1), one timed refresh
+// per kLatencySamplePeriod.  Runs while keep_going(count); returns the query
+// count.
+template <typename Querier, typename KeepGoing>
+std::uint64_t query_loop(Querier& querier, std::vector<double>& latency_us,
+                         double phi_start, KeepGoing&& keep_going) {
+  std::uint64_t count = 0;
+  double phi = phi_start;
+  while (keep_going(count)) {
+    if (count % kLatencySamplePeriod == 0) {
+      Timer rt;
+      querier.refresh();
+      latency_us.push_back(rt.seconds() * 1e6);
+    } else {
+      querier.refresh();
+    }
+    (void)querier.quantile(phi);
+    ++count;
+    phi += 0.001;
+    if (phi >= 1.0) phi = 0.001;
+  }
+  return count;
+}
+
+// Pools per-thread latency samples and returns their {p50, p99} in microseconds.
+inline std::pair<double, double> pooled_refresh_percentiles(
+    std::vector<std::vector<double>>& per_thread) {
+  std::vector<double> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  return {percentile(all, 0.50), percentile(all, 0.99)};
+}
+
+// Query-only load: `threads` queriers each issue `queries_per_thread`
+// snapshot-and-quantile operations (refresh + quantile per query, as the
+// paper's query threads do).  Holes/retries are the sketch-stat deltas over
+// the run, so the sketch should be constructed with collect_stats=true for
+// them to be meaningful.
+template <typename T>
+QueryLoadStats run_query_load(core::Quancurrent<T>& sketch, std::uint32_t threads,
+                              std::uint64_t queries_per_thread) {
+  if (threads == 0) threads = 1;
+  const auto before = sketch.stats();
+  std::vector<std::vector<double>> latencies(threads);
+  const double seconds = timed_parallel(threads, [&](std::uint32_t t) {
+    auto querier = sketch.make_querier();
+    latencies[t].reserve(queries_per_thread / kLatencySamplePeriod + 1);
+    query_loop(querier, latencies[t], 0.001 * (t + 1),
+               [queries_per_thread](std::uint64_t count) {
+                 return count < queries_per_thread;
+               });
+  });
+  const auto after = sketch.stats();
+
+  QueryLoadStats stats;
+  stats.queries = queries_per_thread * threads;
+  stats.queries_per_sec = throughput(stats.queries, seconds);
+  std::tie(stats.refresh_p50_us, stats.refresh_p99_us) =
+      pooled_refresh_percentiles(latencies);
+  stats.holes = after.holes - before.holes;
+  stats.query_retries = after.query_retries - before.query_retries;
+  return stats;
+}
+
+// Mixed update/query workload result (fig06c).
+struct MixedResult {
+  double update_throughput = 0.0;
+  double query_throughput = 0.0;
+  double refresh_p50_us = 0.0;
+  double refresh_p99_us = 0.0;
+  std::uint64_t queries = 0;
+  std::uint64_t holes = 0;
+  std::uint64_t query_retries = 0;
+};
+
+// Runs `upd_threads` updaters pushing all of `updates` while `qry_threads`
+// queriers issue refresh+quantile operations until the updates finish.
+template <typename T>
+MixedResult run_mixed(core::Quancurrent<T>& sketch, const std::vector<T>& updates,
+                      std::uint32_t upd_threads, std::uint32_t qry_threads) {
+  if (upd_threads == 0) upd_threads = 1;
+  const auto before = sketch.stats();
+  const auto ranges = split_ranges(updates.size(), upd_threads);
+  std::atomic<std::uint32_t> updaters_left{upd_threads};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> total_queries{0};
+  std::vector<std::vector<double>> latencies(qry_threads);
+
+  const double seconds = timed_parallel(upd_threads + qry_threads, [&](std::uint32_t t) {
+    if (t < upd_threads) {
+      {
+        auto updater = sketch.make_updater(t);
+        const auto [begin, end] = ranges[t];
+        for (std::uint64_t i = begin; i < end; ++i) updater.update(updates[i]);
+      }
+      if (updaters_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done.store(true, std::memory_order_release);
+      }
+    } else {
+      auto querier = sketch.make_querier();
+      const std::uint64_t count =
+          query_loop(querier, latencies[t - upd_threads], 0.001 * (t + 1),
+                     [&done](std::uint64_t) {
+                       return !done.load(std::memory_order_acquire);
+                     });
+      total_queries.fetch_add(count, std::memory_order_acq_rel);
+    }
+  });
+  const auto after = sketch.stats();
+
+  MixedResult r;
+  r.update_throughput = throughput(updates.size(), seconds);
+  r.queries = total_queries.load(std::memory_order_acquire);
+  r.query_throughput = throughput(r.queries, seconds);
+  std::tie(r.refresh_p50_us, r.refresh_p99_us) = pooled_refresh_percentiles(latencies);
+  r.holes = after.holes - before.holes;
+  r.query_retries = after.query_retries - before.query_retries;
+  return r;
 }
 
 }  // namespace qc::bench

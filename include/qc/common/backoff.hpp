@@ -1,0 +1,51 @@
+// Shared exponential backoff for the engine's short spin loops (gather-buffer
+// ordinal waits, the install latch).  Escalates cheap CPU pauses into
+// scheduler yields: the first kPauseRounds spins issue 1, 2, 4, ... pause
+// instructions — keeping the waiter on-core for the common case where the
+// owner finishes within a few hundred cycles — and only then starts yielding,
+// so a descheduled owner cannot livelock its waiters.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace qc {
+
+// One pause/spin hint; ~tens of cycles on x86 (_mm_pause), a scheduler hint
+// elsewhere.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  // Call once per failed wait iteration.
+  void spin() {
+    if (round_ < kPauseRounds) {
+      const std::uint32_t pauses = 1u << round_;
+      for (std::uint32_t i = 0; i < pauses; ++i) cpu_pause();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { round_ = 0; }
+
+ private:
+  // 2^6 - 1 = 63 pauses total before the first yield.
+  static constexpr std::uint32_t kPauseRounds = 6;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace qc

@@ -29,6 +29,18 @@
 // snapshot and report the affected arrays as holes (counted, never crashed
 // on), mirroring the paper's hole analysis (§4.1).
 //
+// Query engine.  Every published level slot is a sorted k-run (the KLL
+// compactor invariant), so a snapshot is a set of sorted runs, not a bag of
+// items.  Querier::refresh copies the referenced runs plus the tail and
+// multiway-merges them (core/run_merge.hpp, tournament tree, O(R log L))
+// into a structure-of-arrays prefix-weight summary; quantile/rank/cdf are
+// then O(log R) binary searches over the frozen summary.  refresh() is also
+// incremental: each level carries an install epoch (the install_seq of the
+// last install that wrote it), and a refresh re-copies only levels whose
+// epoch or trit changed since the querier's previous validated snapshot,
+// reusing every unchanged run.  A refresh that finds both the install seq
+// and the tail version unchanged is O(1).
+//
 // Relaxation.  Elements still in local buffers or partially filled gather
 // buffers are invisible to queries — the paper's bounded relaxation of at
 // most N*b + rho*nodes*2k elements.  quiesce() flushes all of that into the
@@ -37,24 +49,27 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "atomics/tritmap.hpp"
+#include "common/backoff.hpp"
 #include "common/rng.hpp"
 #include "core/batch_sort.hpp"
 #include "core/options.hpp"
+#include "core/run_merge.hpp"
 #include "sequential/quantiles_sketch.hpp"
 
 namespace qc::core {
@@ -83,6 +98,10 @@ class Quancurrent {
     levels_.assign(static_cast<std::size_t>(kPreallocLevels) * 2 * opts_.k, T{});
     scratch_.resize(cap_);
     rng_ = Xoshiro256(opts_.seed);
+    // Pre-reserve the tail for its steady-state worst case (one partial
+    // gather buffer per node at quiesce plus drain residue) so push_tail
+    // almost never reallocates while holding tail_mu_.
+    tail_.reserve(static_cast<std::size_t>(opts_.topology.nodes) * opts_.rho * cap_);
     nodes_.reserve(opts_.topology.nodes);
     for (std::uint32_t n = 0; n < opts_.topology.nodes; ++n) {
       nodes_.push_back(std::make_unique<Node>(opts_.rho, cap_));
@@ -175,6 +194,7 @@ class Quancurrent {
         install_batch(std::span<const T>(tail_.data() + off, cap_));
       }
       tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(full));
+      tail_version_.fetch_add(1, std::memory_order_release);
     }
   }
 
@@ -209,14 +229,66 @@ class Quancurrent {
 
   // ----- queries -----------------------------------------------------------
 
-  // Point-in-time view of the sketch.  refresh() snapshots the tritmap and
-  // copies the referenced arrays; quantile/rank/cdf then answer from the
-  // frozen summary without touching shared state.
+  // Point-in-time view of the sketch.  refresh() snapshots the tritmap,
+  // copies (or reuses) the referenced level runs plus the tail, and
+  // multiway-merges them into a prefix-weight summary; quantile/rank/cdf
+  // then answer from the frozen summary in O(log R) without touching shared
+  // state.
   class Querier {
    public:
-    explicit Querier(Quancurrent& sketch) : sketch_(&sketch) { refresh(); }
+    explicit Querier(Quancurrent& sketch)
+        : sketch_(&sketch), cache_(kPreallocLevels) {
+      refresh();
+    }
 
-    void refresh() {
+    // Incremental refresh: reuses level runs cached by earlier refreshes
+    // when the level's install epoch and trit are unchanged; O(1) when
+    // nothing was published and the tail did not change.
+    void refresh() { refresh_impl(/*force_full=*/false); }
+
+    // Ignores the run cache and re-copies every referenced level; the
+    // summary is identical to refresh()'s (tested), just slower to build.
+    void refresh_full() { refresh_impl(/*force_full=*/true); }
+
+    // Benchmarking/diagnostic knob: build summaries by flattening all runs
+    // and globally sorting (the pre-merge-engine algorithm) instead of
+    // multiway-merging.  Answers are identical; only the refresh cost
+    // changes.
+    void set_sort_baseline(bool on) { sort_baseline_ = on; }
+
+    std::uint64_t size() const { return summary_.total_weight(); }
+    std::uint64_t holes() const { return holes_; }
+
+    // The frozen value-sorted summary the last refresh produced.
+    const WeightedSummary<T>& summary() const { return summary_; }
+
+    T quantile(double phi) const { return summary_quantile(summary_, phi); }
+
+    std::uint64_t rank(const T& v) const {
+      return summary_rank(summary_, v, sketch_->cmp_);
+    }
+
+    double cdf(const T& v) const {
+      const std::uint64_t total = summary_.total_weight();
+      return total == 0 ? 0.0
+                        : static_cast<double>(rank(v)) / static_cast<double>(total);
+    }
+
+   private:
+    static constexpr std::uint32_t kSnapshotRetries = 8;
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    // Private copy of one level's occupied slots, tagged with the install
+    // epoch the copy reflects.  Valid for reuse while the level's published
+    // epoch and trit both still match: slot contents change only through
+    // installs, and every install that writes a level bumps its epoch.
+    struct LevelCache {
+      std::uint64_t epoch = kNever;
+      std::uint32_t trit = 0;
+      std::vector<T> runs;  // trit sorted k-runs, slot-major
+    };
+
+    void refresh_impl(bool force_full) {
       auto& s = *sketch_;
       holes_ = 0;
       for (std::uint32_t attempt = 0;; ++attempt) {
@@ -225,86 +297,128 @@ class Quancurrent {
         // after several installs, but install_seq_ is monotonic, so
         // seq-stable implies no install published during the copy — and
         // installs only write slots their pre-publish tritmap marks empty,
-        // so every array we copied was stable.
+        // so every run we copied was stable.
         const std::uint64_t seq = s.install_seq_.load(std::memory_order_acquire);
-        const Tritmap tm = s.tritmap_.load(std::memory_order_acquire);
-        collect(tm);
-        {
-          // The tail is copied inside the validation loop: quiesce() migrates
-          // tail elements into the levels array, so a snapshot is consistent
-          // only if no install happened after both the levels and the tail
-          // have been read.
-          std::lock_guard<std::mutex> lock(s.tail_mu_);
-          for (const T& v : s.tail_) summary_.emplace_back(v, 1);
+        if (!force_full && seq == snap_seq_ &&
+            s.tail_version_.load(std::memory_order_acquire) == snap_tail_ver_) {
+          // Nothing published and no tail churn since the last validated
+          // snapshot: the summary is already current.
+          return;
         }
+        const Tritmap tm = s.tritmap_.load(std::memory_order_acquire);
+        assert(tm.trit(0) == 0);  // published tritmaps always have level 0 drained
+        collect_levels(tm, force_full);
+        const std::uint64_t tail_ver = copy_tail();
         const std::uint64_t check = s.install_seq_.load(std::memory_order_acquire);
-        if (check == seq) break;
+        if (check == seq) {
+          snap_seq_ = seq;
+          snap_tail_ver_ = tail_ver;
+          build(tm, /*runs_may_be_torn=*/false);
+          return;
+        }
         if (attempt + 1 == kSnapshotRetries) {
           // Accept the snapshot; each racing install may have recycled
           // arrays under our copy.  Count them as holes, as the paper does.
+          // Torn copies may not be sorted, so build via the global-sort
+          // fallback, and poison the cache so the next refresh re-copies.
           holes_ = check - seq;
           if (s.opts_.collect_stats) {
             s.stat_holes_.fetch_add(holes_, std::memory_order_relaxed);
           }
-          break;
+          build(tm, /*runs_may_be_torn=*/true);
+          for (auto& c : cache_) c.epoch = kNever;
+          snap_seq_ = kNever;
+          snap_tail_ver_ = kNever;
+          return;
         }
         if (s.opts_.collect_stats) {
           s.stat_query_retries_.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      std::sort(summary_.begin(), summary_.end(), [&](const auto& a, const auto& b) {
-        return s.cmp_(a.first, b.first);
-      });
-      total_weight_ = 0;
-      for (const auto& [item, weight] : summary_) total_weight_ += weight;
     }
 
-    std::uint64_t size() const { return total_weight_; }
-    std::uint64_t holes() const { return holes_; }
-
-    T quantile(double phi) const {
-      return sketch::weighted_quantile(
-          std::span<const std::pair<T, std::uint64_t>>(summary_), total_weight_, phi);
-    }
-
-    std::uint64_t rank(const T& v) const {
-      return sketch::weighted_rank(std::span<const std::pair<T, std::uint64_t>>(summary_),
-                                   v, sketch_->cmp_);
-    }
-
-    double cdf(const T& v) const {
-      return total_weight_ == 0
-                 ? 0.0
-                 : static_cast<double>(rank(v)) / static_cast<double>(total_weight_);
-    }
-
-   private:
-    static constexpr std::uint32_t kSnapshotRetries = 8;
-
-    void collect(Tritmap tm) {
+    // Copies the occupied slots of every level the tritmap references,
+    // skipping levels whose cached copy is still current.  The epoch is
+    // loaded (acquire) before the slot reads: install_batch publishes a
+    // level's epoch with a release store *after* writing its slots, so a
+    // cache entry tagged with epoch E always holds the fully written
+    // epoch-E contents whenever E is still the level's published epoch.
+    void collect_levels(Tritmap tm, bool force_full) {
       auto& s = *sketch_;
-      summary_.clear();
-      assert(tm.trit(0) == 0);  // published tritmaps always have level 0 drained
-      for (std::uint32_t level = 1; level < tm.num_levels(); ++level) {
-        const std::uint64_t weight = 1ULL << level;
-        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+      const std::uint32_t k = s.opts_.k;
+      top_level_ = tm.num_levels();
+      for (std::uint32_t level = 1; level < top_level_; ++level) {
+        LevelCache& c = cache_[level];
+        const std::uint64_t epoch =
+            s.level_epoch_[level].load(std::memory_order_acquire);
+        const std::uint32_t trit = tm.trit(level);
+        if (!force_full && c.epoch == epoch && c.trit == trit) continue;
+        c.runs.resize(static_cast<std::size_t>(trit) * k);
+        for (std::uint32_t slot = 0; slot < trit; ++slot) {
           T* arr = s.slot_ptr(level, slot);
-          for (std::uint32_t i = 0; i < s.opts_.k; ++i) {
+          T* dst = c.runs.data() + static_cast<std::size_t>(slot) * k;
+          for (std::uint32_t i = 0; i < k; ++i) {
             // Relaxed atomic load pairs with install_batch's atomic stores:
             // if an install recycles this slot under us the value is stale or
             // torn-but-defined, and the validation loop / hole count above
             // handles it.
-            summary_.emplace_back(std::atomic_ref<T>(arr[i]).load(std::memory_order_relaxed),
-                                  weight);
+            dst[i] = std::atomic_ref<T>(arr[i]).load(std::memory_order_relaxed);
           }
         }
+        c.epoch = epoch;
+        c.trit = trit;
+      }
+    }
+
+    // Bulk-copies the tail into a reused buffer under tail_mu_ (memcpy, not
+    // per-element appends); returns the tail version the copy reflects.
+    std::uint64_t copy_tail() {
+      auto& s = *sketch_;
+      std::lock_guard<std::mutex> lock(s.tail_mu_);
+      const std::size_t n = s.tail_.size();
+      tail_buf_.resize(n);
+      if (n != 0) std::memcpy(tail_buf_.data(), s.tail_.data(), n * sizeof(T));
+      return s.tail_version_.load(std::memory_order_relaxed);
+    }
+
+    // Assembles the run list (level slots ascending, then the tail) and
+    // merges it into the summary.  The run order is deterministic, and the
+    // merge breaks ties by run index, so incremental and full refreshes of
+    // the same snapshot produce identical summaries.
+    void build(Tritmap tm, bool runs_may_be_torn) {
+      auto& s = *sketch_;
+      const std::uint32_t k = s.opts_.k;
+      std::sort(tail_buf_.begin(), tail_buf_.end(), s.cmp_);
+      runs_.clear();
+      for (std::uint32_t level = 1; level < top_level_; ++level) {
+        const LevelCache& c = cache_[level];
+        const std::uint32_t trit = std::min(c.trit, tm.trit(level));
+        for (std::uint32_t slot = 0; slot < trit; ++slot) {
+          runs_.push_back({c.runs.data() + static_cast<std::size_t>(slot) * k, k,
+                           1ULL << level});
+        }
+      }
+      if (!tail_buf_.empty()) runs_.push_back({tail_buf_.data(), tail_buf_.size(), 1});
+      const auto span = std::span<const RunRef<T>>(runs_);
+      if (runs_may_be_torn || sort_baseline_) {
+        sort_merge_runs(span, summary_, sort_scratch_, s.cmp_);
+      } else {
+        merger_.merge(span, summary_, s.cmp_);
       }
     }
 
     Quancurrent* sketch_;
-    std::vector<std::pair<T, std::uint64_t>> summary_;
-    std::uint64_t total_weight_ = 0;
+    std::vector<LevelCache> cache_;
+    std::uint32_t top_level_ = 0;
+    std::vector<T> tail_buf_;
+    std::vector<RunRef<T>> runs_;
+    RunMerger<T, Compare> merger_;
+    std::vector<std::pair<T, std::uint64_t>> sort_scratch_;
+    WeightedSummary<T> summary_;
+    std::uint64_t snap_seq_ = kNever;
+    std::uint64_t snap_tail_ver_ = kNever;
     std::uint64_t holes_ = 0;
+    bool sort_baseline_ = false;
   };
 
   Querier make_querier() { return Querier(*this); }
@@ -355,9 +469,8 @@ class Quancurrent {
       // writers to the next buffer, then wait for our ordinal to open.
       std::uint64_t expected = gen;
       node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
-      while (gb.ordinal.load(std::memory_order_acquire) != ord) {
-        std::this_thread::yield();
-      }
+      Backoff backoff;
+      while (gb.ordinal.load(std::memory_order_acquire) != ord) backoff.spin();
     }
     std::copy_n(items, count, gb.slots.data() + off);
     const std::uint64_t done =
@@ -375,15 +488,28 @@ class Quancurrent {
 
   void push_tail(const T* items, std::uint64_t count) {
     std::lock_guard<std::mutex> lock(tail_mu_);
+    // Capacity is pre-reserved at construction, so this insert (one
+    // geometric reallocation at most, by the range-insert guarantee) almost
+    // never allocates under tail_mu_.
     tail_.insert(tail_.end(), items, items + count);
     tail_size_.fetch_add(count, std::memory_order_acq_rel);
+    tail_version_.fetch_add(1, std::memory_order_release);
   }
 
   // Installs a sorted 2k batch: runs the whole propagation cascade against a
   // private copy of the tritmap, writing only slots the published tritmap
   // marks empty, then publishes batch + cascade with a single CAS.
+  //
+  // latch_ serializes installers, and protects exactly the pre-publication
+  // install state: the empty levels_ slots being written, scratch_, rng_
+  // (the parity coins), level_epoch_, the tritmap_ CAS, and the
+  // install_seq_ bump.  Nothing under the latch allocates (scratch_ and the
+  // levels grid are preallocated), and the stats counters are updated after
+  // the latch is released.
   void install_batch(std::span<const T> sorted_batch) {
-    while (latch_.test_and_set(std::memory_order_acquire)) std::this_thread::yield();
+    Backoff backoff;
+    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    const std::uint64_t next_seq = install_seq_.load(std::memory_order_relaxed) + 1;
     Tritmap published = tritmap_.load(std::memory_order_relaxed);
     Tritmap tm = published.after_batch_update();
     // Level 0's two arrays exist only inside `sorted_batch`; each cascade
@@ -403,10 +529,14 @@ class Quancurrent {
       T* dest = slot_ptr(dest_level, tm.trit(dest_level));
       const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
       for (std::uint32_t i = 0; i < opts_.k; ++i) {
-        // Atomic store pairs with Querier::collect's relaxed loads; see there.
+        // Atomic store pairs with Querier::collect_levels' relaxed loads.
         std::atomic_ref<T>(dest[i]).store(source[2 * i + parity],
                                           std::memory_order_relaxed);
       }
+      // Release the level's new epoch only after its slot writes so that a
+      // querier reading this epoch (acquire) sees fully written runs; see
+      // Querier::collect_levels.
+      level_epoch_[dest_level].store(next_seq, std::memory_order_release);
       tm = tm.after_install_propagation(level);
       level = dest_level;
       ++steps;
@@ -439,6 +569,11 @@ class Quancurrent {
   std::vector<T> levels_;
   std::atomic<Tritmap> tritmap_{Tritmap(0)};
 
+  // level_epoch_[l]: install_seq of the last install that wrote level l's
+  // slots (not merely cleared them).  Queriers use it to reuse cached runs
+  // across refreshes; see Querier::collect_levels.
+  std::array<std::atomic<std::uint64_t>, kPreallocLevels> level_epoch_{};
+
   // Install path (owner-only), serialized by `latch_`.
   std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
   std::vector<T> scratch_;
@@ -446,9 +581,12 @@ class Quancurrent {
   std::atomic<std::uint64_t> install_seq_{0};  // monotonic; bumped per publish
 
   // Tail: weight-1 residue from drains and quiesce, outside the tritmap.
+  // tail_version_ bumps on every tail mutation so queriers can detect an
+  // unchanged tail without taking the mutex.
   mutable std::mutex tail_mu_;
   std::vector<T> tail_;
   std::atomic<std::uint64_t> tail_size_{0};
+  std::atomic<std::uint64_t> tail_version_{0};
 
   mutable std::atomic<std::uint64_t> stat_batches_{0};
   mutable std::atomic<std::uint64_t> stat_propagations_{0};

@@ -1,0 +1,208 @@
+// Merge-based construction of weighted quantile summaries.
+//
+// A sketch snapshot is not an unordered bag of items: every level slot is a
+// sorted k-run by construction (the KLL compactor invariant), and the only
+// unsorted part is the small weight-1 tail.  Building the query summary is
+// therefore a multiway merge of R items spread over L sorted runs — O(R log L)
+// with a tournament (loser) tree — not an O(R log R) global sort.
+//
+// The summary itself is stored structure-of-arrays: a sorted item array plus
+// a prefix-summed weight array.  That turns
+//   quantile(phi) into a binary search over prefix weights, and
+//   rank(v)/cdf(v) into a binary search over items,
+// O(log R) per call instead of the previous O(R) linear scans.
+//
+// Ties between runs break by run index, so for a fixed run order the merge
+// output is fully deterministic — which is what lets an incremental refresh
+// (cached runs) and a full refresh (fresh copies) produce bit-identical
+// summaries.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace qc::core {
+
+// One sorted run: `size` items at `data`, each carrying the same weight.
+template <typename T>
+struct RunRef {
+  const T* data = nullptr;
+  std::size_t size = 0;
+  std::uint64_t weight = 1;
+};
+
+// Value-sorted weighted summary, structure-of-arrays: items() ascending and
+// prefix_weights()[i] = total weight of items()[0..i].
+template <typename T>
+class WeightedSummary {
+ public:
+  void clear() {
+    items_.clear();
+    prefix_.clear();
+  }
+
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    prefix_.reserve(n);
+  }
+
+  void append(const T& item, std::uint64_t weight) {
+    items_.push_back(item);
+    prefix_.push_back(total_weight() + weight);
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::uint64_t total_weight() const { return prefix_.empty() ? 0 : prefix_.back(); }
+  std::span<const T> items() const { return items_; }
+  std::span<const std::uint64_t> prefix_weights() const { return prefix_; }
+
+  friend bool operator==(const WeightedSummary& a, const WeightedSummary& b) {
+    return a.items_ == b.items_ && a.prefix_ == b.prefix_;
+  }
+
+ private:
+  std::vector<T> items_;
+  std::vector<std::uint64_t> prefix_;
+};
+
+// Smallest item whose cumulative weight reaches phi * total_weight, by binary
+// search over the prefix-weight array.
+template <typename T>
+T summary_quantile(const WeightedSummary<T>& summary, double phi) {
+  if (summary.empty()) return T{};
+  const double target =
+      std::clamp(phi, 0.0, 1.0) * static_cast<double>(summary.total_weight());
+  const auto prefix = summary.prefix_weights();
+  const auto it = std::partition_point(
+      prefix.begin(), prefix.end(),
+      [target](std::uint64_t c) { return static_cast<double>(c) < target; });
+  const auto items = summary.items();
+  return it == prefix.end() ? items.back()
+                            : items[static_cast<std::size_t>(it - prefix.begin())];
+}
+
+// Total weight of items strictly less than `v`, by binary search over items.
+template <typename T, typename Compare = std::less<T>>
+std::uint64_t summary_rank(const WeightedSummary<T>& summary, const T& v,
+                           Compare cmp = Compare()) {
+  const auto items = summary.items();
+  const auto idx = static_cast<std::size_t>(
+      std::lower_bound(items.begin(), items.end(), v, cmp) - items.begin());
+  return idx == 0 ? 0 : summary.prefix_weights()[idx - 1];
+}
+
+// Reusable L-way merge.  Holds its cursor and tree storage across calls so a
+// refresh loop does not allocate once the vectors reach steady-state size.
+template <typename T, typename Compare = std::less<T>>
+class RunMerger {
+ public:
+  // Merges `runs` (each individually sorted under `cmp`) into `out`,
+  // replacing its contents.  Ties break toward the lower run index.
+  void merge(std::span<const RunRef<T>> runs, WeightedSummary<T>& out,
+             Compare cmp = Compare()) {
+    out.clear();
+    const std::size_t num_runs = runs.size();
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size;
+    out.reserve(total);
+    if (total == 0) return;
+    if (num_runs == 1) {
+      const auto& r = runs[0];
+      for (std::size_t i = 0; i < r.size; ++i) out.append(r.data[i], r.weight);
+      return;
+    }
+
+    runs_ = runs;
+    cmp_ = cmp;
+    pos_.assign(num_runs, 0);
+    // Loser tree over the implicit complete binary tree whose internal nodes
+    // are 1..L-1 and whose leaves are L..2L-1 (leaf x = run x-L, parent x/2):
+    // tree_[x] holds the loser of node x's subtree, tree_[0] the overall
+    // winner.  kExhausted is an always-losing sentinel.  Built bottom-up via
+    // a scratch winner array.
+    tree_.assign(num_runs, kExhausted);
+    win_.assign(2 * num_runs, kExhausted);
+    for (std::size_t i = 0; i < num_runs; ++i) {
+      if (runs[i].size != 0) win_[num_runs + i] = i;
+    }
+    for (std::size_t x = num_runs - 1; x >= 1; --x) {
+      const std::size_t a = win_[2 * x];
+      const std::size_t b = win_[2 * x + 1];
+      if (wins(a, b)) {
+        win_[x] = a;
+        tree_[x] = b;
+      } else {
+        win_[x] = b;
+        tree_[x] = a;
+      }
+    }
+    tree_[0] = win_[1];
+
+    while (tree_[0] != kExhausted) {
+      const std::size_t w = tree_[0];
+      out.append(runs_[w].data[pos_[w]], runs_[w].weight);
+      ++pos_[w];
+      replay(w);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kExhausted = static_cast<std::size_t>(-1);
+
+  // True when leaf `i`'s current front should be emitted before leaf `j`'s.
+  bool wins(std::size_t i, std::size_t j) const {
+    if (i == kExhausted) return false;
+    if (j == kExhausted) return true;
+    const T& a = runs_[i].data[pos_[i]];
+    const T& b = runs_[j].data[pos_[j]];
+    if (cmp_(a, b)) return true;
+    if (cmp_(b, a)) return false;
+    return i < j;
+  }
+
+  // Replays the path from leaf `leaf` to the root, leaving the new overall
+  // winner in tree_[0] and losers along the path.
+  void replay(std::size_t leaf) {
+    std::size_t winner = pos_[leaf] < runs_[leaf].size ? leaf : kExhausted;
+    for (std::size_t node = (leaf + runs_.size()) / 2; node > 0; node /= 2) {
+      if (wins(tree_[node], winner)) std::swap(tree_[node], winner);
+    }
+    tree_[0] = winner;
+  }
+
+  std::span<const RunRef<T>> runs_;
+  Compare cmp_{};
+  std::vector<std::size_t> pos_;
+  std::vector<std::size_t> tree_;
+  std::vector<std::size_t> win_;  // init-time scratch
+};
+
+// The pre-merge-engine summary construction — flatten every run into (item,
+// weight) pairs and globally sort.  Kept as (a) the fallback for snapshots
+// accepted with holes, whose runs may contain torn items and so may not be
+// sorted, and (b) the baseline micro_primitives benches against.
+template <typename T, typename Compare = std::less<T>>
+void sort_merge_runs(std::span<const RunRef<T>> runs, WeightedSummary<T>& out,
+                     std::vector<std::pair<T, std::uint64_t>>& scratch,
+                     Compare cmp = Compare()) {
+  scratch.clear();
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size;
+  scratch.reserve(total);
+  for (const auto& r : runs) {
+    for (std::size_t i = 0; i < r.size; ++i) scratch.emplace_back(r.data[i], r.weight);
+  }
+  std::sort(scratch.begin(), scratch.end(),
+            [&cmp](const auto& a, const auto& b) { return cmp(a.first, b.first); });
+  out.clear();
+  out.reserve(total);
+  for (const auto& [item, weight] : scratch) out.append(item, weight);
+}
+
+}  // namespace qc::core

@@ -8,6 +8,11 @@
 // compacted (every other element, random parity) into a weight-2 array that
 // propagates up the ladder, merging and re-compacting wherever a level is
 // already occupied.  The expected normalized rank error is O(1/k).
+//
+// Queries go through the same merge-based engine as Quancurrent's Querier
+// (core/run_merge.hpp): the levels are sorted runs already, so the summary is
+// a multiway merge into a prefix-weight array, and quantile/rank are binary
+// searches over it.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/run_merge.hpp"
 
 namespace qc::sketch {
 
@@ -42,34 +48,6 @@ std::vector<T> sample_odd_or_even(std::span<const T> sorted, bool keep_odd) {
     out.push_back(sorted[i]);
   }
   return out;
-}
-
-// Weighted-summary queries shared by the sequential sketch and Quancurrent's
-// Querier.  `summary` is a value-sorted (item, weight) flattening of a
-// sketch; `total_weight` is the stream size it represents.
-
-template <typename T>
-T weighted_quantile(std::span<const std::pair<T, std::uint64_t>> summary,
-                    std::uint64_t total_weight, double phi) {
-  if (summary.empty()) return T{};
-  const double target = std::clamp(phi, 0.0, 1.0) * static_cast<double>(total_weight);
-  std::uint64_t cumulative = 0;
-  for (const auto& [item, weight] : summary) {
-    cumulative += weight;
-    if (static_cast<double>(cumulative) >= target) return item;
-  }
-  return summary.back().first;
-}
-
-template <typename T, typename Compare = std::less<T>>
-std::uint64_t weighted_rank(std::span<const std::pair<T, std::uint64_t>> summary,
-                            const T& v, Compare cmp = Compare()) {
-  std::uint64_t r = 0;
-  for (const auto& [item, weight] : summary) {
-    if (!cmp(item, v)) break;
-    r += weight;
-  }
-  return r;
 }
 
 template <typename T, typename Compare = std::less<T>>
@@ -102,7 +80,7 @@ class QuantilesSketch {
   // Estimated number of stream elements strictly less than `v`.
   std::uint64_t rank(const T& v) const {
     build_summary();
-    return weighted_rank(std::span<const std::pair<T, std::uint64_t>>(summary_), v, cmp_);
+    return core::summary_rank(summary_, v, cmp_);
   }
 
   double cdf(const T& v) const {
@@ -114,8 +92,13 @@ class QuantilesSketch {
   T quantile(double phi) const {
     if (n_ == 0) return T{};
     build_summary();
-    return weighted_quantile(std::span<const std::pair<T, std::uint64_t>>(summary_), n_,
-                             phi);
+    return core::summary_quantile(summary_, phi);
+  }
+
+  // The merged prefix-weight summary (rebuilt lazily after updates).
+  const core::WeightedSummary<T>& summary() const {
+    build_summary();
+    return summary_;
   }
 
  private:
@@ -145,15 +128,19 @@ class QuantilesSketch {
 
   void build_summary() const {
     if (!dirty_) return;
-    summary_.clear();
-    summary_.reserve(retained());
-    for (const auto& v : base_) summary_.emplace_back(v, 1);
-    for (std::size_t i = 0; i < levels_.size(); ++i) {
-      const std::uint64_t weight = 1ULL << (i + 1);
-      for (const auto& v : levels_[i]) summary_.emplace_back(v, weight);
+    // The base buffer is the one unsorted run; sort a copy, then hand every
+    // run (base + occupied levels) to the multiway merge.
+    sorted_base_ = base_;
+    std::sort(sorted_base_.begin(), sorted_base_.end(), cmp_);
+    runs_.clear();
+    if (!sorted_base_.empty()) {
+      runs_.push_back({sorted_base_.data(), sorted_base_.size(), 1});
     }
-    std::sort(summary_.begin(), summary_.end(),
-              [this](const auto& a, const auto& b) { return cmp_(a.first, b.first); });
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (levels_[i].empty()) continue;
+      runs_.push_back({levels_[i].data(), levels_[i].size(), 1ULL << (i + 1)});
+    }
+    merger_.merge(std::span<const core::RunRef<T>>(runs_), summary_, cmp_);
     dirty_ = false;
   }
 
@@ -163,7 +150,10 @@ class QuantilesSketch {
   std::uint64_t n_ = 0;
   std::vector<T> base_;                  // weight-1 items, unsorted
   std::vector<std::vector<T>> levels_;   // levels_[i]: k items of weight 2^(i+1)
-  mutable std::vector<std::pair<T, std::uint64_t>> summary_;
+  mutable std::vector<T> sorted_base_;
+  mutable std::vector<core::RunRef<T>> runs_;
+  mutable core::RunMerger<T, Compare> merger_;
+  mutable core::WeightedSummary<T> summary_;
   mutable bool dirty_ = true;
 };
 

@@ -1,0 +1,284 @@
+// The merge-based query engine: run_merge primitives, the prefix-weight
+// summary, and Querier's incremental (tritmap-diff) refresh — including the
+// ISSUE's three acceptance properties: (a) every refresh yields a
+// value-sorted summary, (b) quantile/rank match the exact oracle within the
+// error bound after quiesce, and (c) incremental and full refresh produce
+// identical summaries.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
+#include "core/quancurrent.hpp"
+#include "core/run_merge.hpp"
+#include "qc_test.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+using qc::stream::Distribution;
+
+namespace {
+
+qc::core::Options small_options(std::uint32_t k, std::uint32_t b) {
+  qc::core::Options o;
+  o.k = k;
+  o.b = b;
+  o.collect_stats = true;
+  o.topology = qc::numa::Topology::virtual_nodes(2, 2);
+  return o;
+}
+
+bool summary_is_sorted(const qc::core::WeightedSummary<double>& s) {
+  const auto items = s.items();
+  return std::is_sorted(items.begin(), items.end());
+}
+
+}  // namespace
+
+QC_TEST(merge_runs_matches_sort_merge_runs) {
+  qc::Xoshiro256 rng(41);
+  qc::core::RunMerger<double> merger;
+  std::vector<std::pair<double, std::uint64_t>> scratch;
+  // Random run counts and lengths, including empty runs; uniform doubles are
+  // effectively duplicate-free, so merge and sort orders must agree exactly.
+  for (const std::size_t num_runs : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                     std::size_t{7}, std::size_t{16}}) {
+    std::vector<std::vector<double>> data(num_runs);
+    std::vector<qc::core::RunRef<double>> runs;
+    for (std::size_t r = 0; r < num_runs; ++r) {
+      const std::size_t len = rng() % 200;
+      data[r].resize(len);
+      for (auto& v : data[r]) v = rng.next_double();
+      std::sort(data[r].begin(), data[r].end());
+      runs.push_back({data[r].data(), data[r].size(), 1ULL << (r % 5)});
+    }
+    qc::core::WeightedSummary<double> merged, sorted;
+    const auto span = std::span<const qc::core::RunRef<double>>(runs);
+    merger.merge(span, merged);
+    qc::core::sort_merge_runs(span, sorted, scratch);
+    CHECK(merged == sorted);
+    CHECK(summary_is_sorted(merged));
+  }
+}
+
+QC_TEST(merge_runs_breaks_ties_by_run_index) {
+  // Two runs sharing values but with different weights: ties must go to the
+  // lower run index, making the output deterministic.
+  const std::vector<double> a{1.0, 2.0, 2.0};
+  const std::vector<double> b{2.0, 3.0};
+  const std::vector<qc::core::RunRef<double>> runs{{a.data(), a.size(), 4},
+                                                   {b.data(), b.size(), 1}};
+  qc::core::RunMerger<double> merger;
+  qc::core::WeightedSummary<double> out;
+  merger.merge(std::span<const qc::core::RunRef<double>>(runs), out);
+  CHECK_EQ(out.size(), 5u);
+  CHECK_EQ(out.total_weight(), 14u);
+  const auto items = out.items();
+  const auto prefix = out.prefix_weights();
+  CHECK(std::vector<double>(items.begin(), items.end()) ==
+        (std::vector<double>{1, 2, 2, 2, 3}));
+  // Run 0's weight-4 copies of 2.0 come before run 1's weight-1 copy.
+  CHECK(std::vector<std::uint64_t>(prefix.begin(), prefix.end()) ==
+        (std::vector<std::uint64_t>{4, 8, 12, 13, 14}));
+}
+
+QC_TEST(summary_binary_searches_match_linear_scans) {
+  qc::Xoshiro256 rng(43);
+  qc::core::WeightedSummary<double> s;
+  double v = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> flat;
+  for (int i = 0; i < 500; ++i) {
+    v += rng.next_double();
+    const std::uint64_t w = 1 + rng() % 7;
+    s.append(v, w);
+    flat.emplace_back(v, w);
+  }
+  // rank: first item not less than the probe, prefix weight before it.
+  for (int i = 0; i < 200; ++i) {
+    const double probe = rng.next_double() * v;
+    std::uint64_t expect = 0;
+    for (const auto& [item, weight] : flat) {
+      if (!(item < probe)) break;
+      expect += weight;
+    }
+    CHECK_EQ(qc::core::summary_rank(s, probe), expect);
+  }
+  // quantile: smallest item whose cumulative weight reaches phi * total.
+  for (int i = 1; i < 100; ++i) {
+    const double phi = static_cast<double>(i) / 100.0;
+    const double target = phi * static_cast<double>(s.total_weight());
+    std::uint64_t cumulative = 0;
+    double expect = flat.back().first;
+    for (const auto& [item, weight] : flat) {
+      cumulative += weight;
+      if (static_cast<double>(cumulative) >= target) {
+        expect = item;
+        break;
+      }
+    }
+    CHECK_NEAR(qc::core::summary_quantile(s, phi), expect, 0.0);
+  }
+  CHECK_NEAR(qc::core::summary_quantile(s, 0.0), s.items()[0], 0.0);
+  CHECK_EQ(qc::core::summary_rank(s, -1.0), 0u);
+  CHECK_EQ(qc::core::summary_rank(s, v + 1.0), s.total_weight());
+}
+
+QC_TEST(backoff_spins_and_escalates) {
+  qc::Backoff backoff;
+  for (int i = 0; i < 100; ++i) backoff.spin();  // must escalate without hanging
+  backoff.reset();
+  backoff.spin();
+}
+
+QC_TEST(concurrent_refreshes_always_see_sorted_summaries) {
+  // Acceptance (a): every refresh — incremental, racing live installs —
+  // yields a value-sorted summary whose prefix weights are consistent.
+  const std::uint64_t n = 120'000;
+  const std::uint32_t k = 64;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 29);
+  qc::core::Quancurrent<double> sk(small_options(k, 8));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      auto q = sk.make_querier();
+      while (!stop.load(std::memory_order_acquire)) {
+        q.refresh();
+        const auto& s = q.summary();
+        CHECK(summary_is_sorted(s));
+        CHECK_EQ(s.total_weight(), q.size());
+        const auto prefix = s.prefix_weights();
+        CHECK(std::is_sorted(prefix.begin(), prefix.end()));
+        if (!s.empty()) {
+          const double med = q.quantile(0.5);
+          CHECK(med >= 0.0 && med < 1.0);
+        }
+      }
+    });
+  }
+  qc::bench::ingest_quancurrent(sk, data, 2);
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  sk.quiesce();
+  auto q = sk.make_querier();
+  CHECK_EQ(q.size(), n);
+}
+
+QC_TEST(quantile_and_rank_match_oracle_after_quiesce) {
+  // Acceptance (b): after quiesce, quantile AND rank answers stay within the
+  // paper's error bound of the exact oracle.
+  const std::uint64_t n = 200'000;
+  const std::uint32_t k = 256;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 31);
+  qc::core::Quancurrent<double> sk(small_options(k, 8));
+  qc::bench::ingest_quancurrent(sk, data, 4, /*quiesce=*/true);
+  CHECK_EQ(sk.size(), n);
+
+  auto q = sk.make_querier();
+  CHECK_EQ(q.size(), n);
+  qc::stream::ExactQuantiles<double> exact(std::move(data));
+
+  const double bound = 12.0 / static_cast<double>(k);
+  double max_err = 0.0;
+  for (int i = 1; i < 50; ++i) {
+    const double phi = static_cast<double>(i) / 50.0;
+    max_err = std::max(max_err, exact.rank_error(q.quantile(phi), phi));
+  }
+  CHECK(max_err <= bound);
+
+  // rank(): normalized error against the oracle's exact rank.
+  for (int i = 1; i < 50; ++i) {
+    const double probe = static_cast<double>(i) / 50.0;
+    const double est = static_cast<double>(q.rank(probe)) / static_cast<double>(n);
+    const double truth =
+        static_cast<double>(exact.rank(probe)) / static_cast<double>(n);
+    CHECK(std::fabs(est - truth) <= bound);
+  }
+}
+
+QC_TEST(incremental_and_full_refresh_return_identical_summaries) {
+  // Acceptance (c): a querier whose cache evolved across many refreshes must
+  // produce bit-identical summaries to a full re-copy and to a fresh
+  // querier, at every quiesced point.
+  const std::uint32_t k = 64;
+  qc::core::Quancurrent<double> sk(small_options(k, 8));
+  auto data = qc::stream::make_stream(Distribution::kUniform, 60'000, 37);
+
+  auto incremental = sk.make_querier();
+  std::size_t fed = 0;
+  std::uint32_t rounds = 0;
+  while (fed < data.size()) {
+    {
+      auto updater = sk.make_updater(rounds % 4);
+      const std::size_t chunk = std::min<std::size_t>(data.size() - fed, 7'321);
+      for (std::size_t i = 0; i < chunk; ++i) updater.update(data[fed + i]);
+      fed += chunk;
+    }
+    sk.quiesce();
+    incremental.refresh();  // reuses cached runs for unchanged levels
+    CHECK_EQ(incremental.holes(), 0u);
+
+    auto full = sk.make_querier();  // fresh cache: every run copied anew
+    CHECK(incremental.summary() == full.summary());
+
+    full.refresh_full();  // and the explicit cache-bypass path
+    CHECK(incremental.summary() == full.summary());
+
+    CHECK_EQ(incremental.size(), fed);
+    ++rounds;
+  }
+  CHECK(rounds >= 8u);
+
+  // The sort-baseline knob answers identically too (tie order may differ for
+  // duplicate items, but uniform doubles are duplicate-free).
+  auto baseline = sk.make_querier();
+  baseline.set_sort_baseline(true);
+  baseline.refresh_full();
+  CHECK(baseline.summary() == incremental.summary());
+}
+
+QC_TEST(incremental_refresh_is_noop_when_nothing_changed) {
+  qc::core::Quancurrent<double> sk(small_options(64, 8));
+  {
+    auto updater = sk.make_updater(0);
+    for (int i = 0; i < 50'000; ++i) updater.update(static_cast<double>(i));
+  }
+  sk.quiesce();
+  auto q = sk.make_querier();
+  const auto first = q.summary();
+  for (int i = 0; i < 10; ++i) {
+    q.refresh();  // fast path: seq and tail version unchanged
+    CHECK(q.summary() == first);
+  }
+  // A tail-only mutation must invalidate the fast path.
+  {
+    auto updater = sk.make_updater(0);
+    updater.update(1e9);
+  }  // drains 1 element to the tail
+  q.refresh();
+  CHECK_EQ(q.size(), 50'001u);
+  CHECK_NEAR(q.summary().items().back(), 1e9, 0.0);
+}
+
+QC_TEST(sequential_sketch_summary_uses_prefix_weights) {
+  qc::sketch::QuantilesSketch<double> sk(128);
+  auto data = qc::stream::make_stream(Distribution::kUniform, 30'000, 5);
+  for (const double v : data) sk.update(v);
+  const auto& s = sk.summary();
+  CHECK(summary_is_sorted(s));
+  CHECK_EQ(s.total_weight(), 30'000u);
+  CHECK_EQ(sk.rank(2.0), 30'000u);
+  qc::stream::ExactQuantiles<double> exact(std::move(data));
+  for (const double phi : {0.1, 0.5, 0.9}) {
+    CHECK(exact.rank_error(sk.quantile(phi), phi) <= 10.0 / 128.0);
+  }
+}
+
+QC_TEST_MAIN()
