@@ -122,14 +122,22 @@ struct QueryLoadStats {
 // output.  Set by bench/run_all.sh and CI via QC_BENCH_JSON.
 inline std::string json_out_dir() { return env::get_str("QC_BENCH_JSON", ""); }
 
-// Accumulates a (threads -> value) series and writes it as a small JSON
-// document — the machine-readable perf trajectory CI uploads as an artifact.
+// Accumulates a (threads -> value) series plus optional named counters and
+// writes them as a small JSON document — the machine-readable perf trajectory
+// CI uploads as an artifact.  Counters carry run diagnostics alongside the
+// headline metric (e.g. fig06a's ingest contention counters: gather_waits,
+// latch_spins, combined_installs, ...), so a trajectory diff can say *why*
+// throughput moved.
 class JsonSeries {
  public:
   JsonSeries(std::string bench, std::string scale, std::string metric)
       : bench_(std::move(bench)), scale_(std::move(scale)), metric_(std::move(metric)) {}
 
   void add(std::uint32_t threads, double value) { points_.emplace_back(threads, value); }
+
+  void counter(std::string name, double value) {
+    counters_.emplace_back(std::move(name), value);
+  }
 
   bool write_file(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -141,7 +149,16 @@ class JsonSeries {
       std::fprintf(f, "%s\n    {\"threads\": %u, \"value\": %.17g}", i == 0 ? "" : ",",
                    points_[i].first, points_[i].second);
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ]");
+    if (!counters_.empty()) {
+      std::fprintf(f, ",\n  \"counters\": {");
+      for (std::size_t i = 0; i < counters_.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                     counters_[i].first.c_str(), counters_[i].second);
+      }
+      std::fprintf(f, "\n  }");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -151,6 +168,39 @@ class JsonSeries {
   std::string scale_;
   std::string metric_;
   std::vector<std::pair<std::uint32_t, double>> points_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+// Flat (name -> value) JSON emitter for benches whose results are keyed by
+// configuration rather than thread count (e.g. micro_primitives' gather-path
+// sweep over (k, b) and the install-combining depth sweep).
+class JsonKv {
+ public:
+  JsonKv(std::string bench, std::string scale)
+      : bench_(std::move(bench)), scale_(std::move(scale)) {}
+
+  void add(std::string name, double value) {
+    values_.emplace_back(std::move(name), value);
+  }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n  \"values\": {",
+                 bench_.c_str(), scale_.c_str());
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                   values_[i].first.c_str(), values_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string scale_;
+  std::vector<std::pair<std::string, double>> values_;
 };
 
 }  // namespace bench

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -34,7 +35,7 @@ double ingest_quancurrent(core::Quancurrent<T>& sketch, const std::vector<T>& da
   const double seconds = timed_parallel(threads, [&](std::uint32_t tid) {
     auto updater = sketch.make_updater(tid);
     const auto [begin, end] = ranges[tid];
-    for (std::uint64_t i = begin; i < end; ++i) updater.update(data[i]);
+    updater.update(std::span<const T>(data.data() + begin, end - begin));
   });
   if (!quiesce) return seconds;
   Timer drain_timer;
@@ -140,7 +141,7 @@ MixedResult run_mixed(core::Quancurrent<T>& sketch, const std::vector<T>& update
       {
         auto updater = sketch.make_updater(t);
         const auto [begin, end] = ranges[t];
-        for (std::uint64_t i = begin; i < end; ++i) updater.update(updates[i]);
+        updater.update(std::span<const T>(updates.data() + begin, end - begin));
       }
       if (updaters_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         done.store(true, std::memory_order_release);

@@ -11,13 +11,38 @@ struct Options {
   std::uint32_t k = 4096;  // summary size: each level array holds k items
   std::uint32_t b = 16;    // per-thread local buffer (elements moved per F&A)
   std::uint32_t rho = 2;   // Gather&Sort buffers per NUMA node
+
+  // Updaters sort their local b-buffer before flushing it, so a full gather
+  // buffer is a sequence of 2k/b sorted chunks and the batch owner builds the
+  // sorted 2k batch with a multiway chunk merge — O(2k log(2k/b)) owner work
+  // spread-sorted across all writer threads — instead of a from-scratch
+  // O(2k log 2k) full sort.  Off = the pre-chunk-merge pipeline (updaters
+  // flush raw, the owner runs batch_sort); kept as the A/B baseline for
+  // micro_primitives and fig06a.
+  bool presort_chunks = true;
+
+  // Combining installer drain depth: the batch owner holding the install
+  // latch installs up to this many queued sorted batches in one latch hold,
+  // publishing the whole group with a single tritmap CAS.  1 = one batch per
+  // latch acquisition (the pre-combining behavior, with the hand-off queue
+  // still decoupling gather ordinals from installation).
+  std::uint32_t install_combine = 4;
+
+  // Capacity (in 2k batches) of the bounded MPSC install hand-off queue.
+  // 0 = auto: the smallest power of two >= max(8, 2 * install_combine).
+  // Producers that find the queue full wait for the drainer — the queue
+  // bounds the ingest-to-query relaxation by install_queue * 2k elements.
+  std::uint32_t install_queue = 0;
+
   bool collect_stats = false;
   std::uint64_t seed = 0x5eed5eed5eed5eedULL;
   numa::Topology topology = numa::Topology::single_node();
 
-  // Clamps fields into the ranges the engine supports: k >= 2, rho >= 1, and
-  // b adjusted down to the nearest divisor of the 2k batch size so that F&A
-  // reservations always tile the gather buffer exactly.
+  // Clamps fields into the ranges the engine supports: k >= 2, rho >= 1, b
+  // adjusted down to the nearest divisor of the 2k batch size so that F&A
+  // reservations always tile the gather buffer exactly, install_combine in
+  // [1, 256], and install_queue rounded up to a power of two large enough to
+  // hold one full drain group.
   void normalize() {
     if (k < 2) k = 2;
     if (rho == 0) rho = 1;
@@ -25,6 +50,17 @@ struct Options {
     const std::uint32_t cap = 2 * k;
     if (b > cap) b = cap;
     while (cap % b != 0) --b;
+    if (install_combine == 0) install_combine = 1;
+    if (install_combine > 256) install_combine = 256;
+    std::uint32_t want = install_queue;
+    if (want == 0) want = 2 * install_combine;
+    if (want < 8) want = 8;
+    // An explicit queue size is still raised to hold one full drain group,
+    // so a configured install_combine depth is always reachable.
+    if (want < install_combine) want = install_combine;
+    std::uint32_t cap2 = 8;
+    while (cap2 < want) cap2 *= 2;
+    install_queue = cap2;
   }
 };
 

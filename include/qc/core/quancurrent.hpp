@@ -2,32 +2,53 @@
 // SPAA 2023) over the KLL-style compaction ladder in
 // sequential/quantiles_sketch.hpp.
 //
-// Ingestion pipeline
-//   update threads -> per-thread local buffer (b items, no sharing)
-//                  -> Gather&Sort buffer of the thread's NUMA node: an F&A
-//                     reserves b slots in a 2k-element shared buffer; the
-//                     thread that commits the last slot becomes the batch
-//                     OWNER
-//                  -> the owner sorts the 2k batch in place and installs it
-//                     into the levels array, running the full propagation
-//                     cascade, then publishes everything with a single CAS on
-//                     the tritmap.
+// Ingestion pipeline — three decoupled stages, each parallel or amortized:
+//
+//   1. PRE-SORT (every update thread).  Updates land in a per-thread local
+//      buffer of b items; when it fills, the thread sorts it in place
+//      (Options::presort_chunks) and only then flushes, so sort work is
+//      spread across all writer threads while the data is L1-hot.
+//   2. GATHER & MERGE (the batch owner).  A flush F&A-reserves b slots in the
+//      2k-element Gather&Sort buffer of the thread's NUMA node; the thread
+//      that commits the last slot becomes the batch OWNER.  Because every
+//      flush is a sorted b-chunk at a b-aligned offset (Options::normalize
+//      makes b divide 2k), the full buffer is 2k/b sorted runs and the owner
+//      produces the sorted 2k batch with a multiway chunk merge
+//      (run_merge.hpp ChunkMerger, O(2k log(2k/b))) instead of a
+//      from-scratch O(2k log 2k) sort.  The merge writes straight into a free cell of the
+//      install queue, after which the owner reopens its gather ordinal —
+//      ingestion into that buffer resumes before the batch is installed.
+//   3. COMBINING INSTALL (one owner at a time).  Sorted batches are handed to
+//      a bounded MPSC ring (Options::install_queue cells); whichever owner
+//      holds the install latch drains up to Options::install_combine pending
+//      batches in FIFO order, applies all their cascades against a private
+//      tritmap, and publishes the whole group with a single tritmap CAS, so
+//      latch/CAS/publication costs amortize across the group.  Owners whose
+//      batch was installed by another drainer return to ingesting without
+//      ever holding the latch.
 //
 // Each NUMA node rotates through rho Gather&Sort buffers so ingestion
-// continues while an owner is sorting.  Buffers are recycled by a monotonic
+// continues while an owner is merging.  Buffers are recycled by a monotonic
 // (reservation, commit, ordinal) counter scheme: counters never reset, so a
 // delayed thread can never corrupt a later generation's accounting — its
 // reservation simply lands in a future ordinal and the thread waits for that
 // ordinal to open.
 //
 // Publication protocol.  The levels array is a preallocated grid of k-sized
-// slots.  An installing owner only writes slots that the currently published
-// tritmap marks empty, then flips the tritmap old -> new with one CAS, so a
-// query that loads the tritmap sees a fully consistent levels description.
-// Queries re-validate the tritmap after copying; if an install raced past
-// them they retry, and after a bounded number of attempts they accept the
-// snapshot and report the affected arrays as holes (counted, never crashed
-// on), mirroring the paper's hole analysis (§4.1).
+// slots.  A single-batch install only writes slots that the currently
+// published tritmap marks empty, then flips the tritmap old -> new with one
+// CAS, so a query that loads the tritmap sees a fully consistent levels
+// description.  Queries re-validate the install sequence number after
+// copying; if an install raced past them they retry, and after a bounded
+// number of attempts they accept the snapshot and report the affected arrays
+// as holes (counted, never crashed on), mirroring the paper's hole analysis
+// (§4.1).  A combined (multi-batch) group may additionally need to rewrite a
+// slot the published tritmap still marks occupied (a later batch refills a
+// level an earlier batch of the same group consumed); those groups flip
+// install_seq_ odd for the duration of the dangerous writes, seqlock-style,
+// so a querier can never validate a copy window that overlapped them —
+// single-batch groups never enter the odd phase and remain wait-free for
+// queriers, exactly as before.
 //
 // Query engine.  Every published level slot is a sorted k-run (the KLL
 // compactor invariant), so a snapshot is a set of sorted runs, not a bag of
@@ -35,17 +56,18 @@
 // multiway-merges them (core/run_merge.hpp, tournament tree, O(R log L))
 // into a structure-of-arrays prefix-weight summary; quantile/rank/cdf are
 // then O(log R) binary searches over the frozen summary.  refresh() is also
-// incremental: each level carries an install epoch (the install_seq of the
-// last install that wrote it), and a refresh re-copies only levels whose
+// incremental: each level carries an install epoch (a counter unique to the
+// last batch cascade that wrote it), and a refresh re-copies only levels whose
 // epoch or trit changed since the querier's previous validated snapshot,
 // reusing every unchanged run.  A refresh that finds both the install seq
 // and the tail version unchanged is O(1).
 //
-// Relaxation.  Elements still in local buffers or partially filled gather
-// buffers are invisible to queries — the paper's bounded relaxation of at
-// most N*b + rho*nodes*2k elements.  quiesce() flushes all of that into the
-// query path; after every updater has drained and quiesce() returned,
-// size() equals the number of ingested elements exactly.
+// Relaxation.  Elements still in local buffers, partially filled gather
+// buffers, or batches parked in the install queue are invisible to queries —
+// the paper's bounded relaxation, here at most
+// N*b + rho*nodes*2k + install_queue*2k elements.  quiesce() flushes all of
+// that into the query path; after every updater has drained and quiesce()
+// returned, size() equals the number of ingested elements exactly.
 #pragma once
 
 #include <algorithm>
@@ -80,6 +102,19 @@ struct Stats {
   std::uint64_t holes = 0;          // arrays accepted unvalidated by queries
   std::uint64_t query_retries = 0;  // snapshot retries across all queries
 
+  // Ingest contention counters (fig06a/fig06c diagnostics; collect_stats
+  // only).  Together they say *why* update throughput moves: gather_waits
+  // counts flushes that reserved into a closed gather ordinal and had to
+  // wait, latch_spins counts failed install-latch acquisitions by owners
+  // waiting on the install queue, and installs/combined_installs/max_combine
+  // describe how well the combining installer amortizes publication
+  // (batches / installs = mean batches per drain group).
+  std::uint64_t gather_waits = 0;       // flushes that waited for their ordinal
+  std::uint64_t latch_spins = 0;        // failed install-latch try-acquires
+  std::uint64_t installs = 0;           // publish groups (1 CAS each)
+  std::uint64_t combined_installs = 0;  // groups that drained > 1 batch
+  std::uint64_t max_combine = 0;        // largest batches-per-drain group seen
+
   double hole_rate_per_batch() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(holes) / static_cast<double>(batches);
@@ -95,9 +130,15 @@ class Quancurrent {
   explicit Quancurrent(Options opts) : opts_(opts) {
     opts_.normalize();
     cap_ = 2 * static_cast<std::uint64_t>(opts_.k);
+    presort_ = opts_.presort_chunks && cap_ % opts_.b == 0;
     levels_.assign(static_cast<std::size_t>(kPreallocLevels) * 2 * opts_.k, T{});
     scratch_.resize(cap_);
     rng_ = Xoshiro256(opts_.seed);
+    install_q_ = std::make_unique<InstallCell[]>(opts_.install_queue);
+    for (std::uint32_t i = 0; i < opts_.install_queue; ++i) {
+      install_q_[i].items.resize(cap_);
+      install_q_[i].seq.store(i, std::memory_order_relaxed);
+    }
     // Pre-reserve the tail for its steady-state worst case (one partial
     // gather buffer per node at quiesce plus drain residue) so push_tail
     // almost never reallocates while holding tail_mu_.
@@ -122,7 +163,11 @@ class Quancurrent {
         : sketch_(&sketch),
           node_(sketch.opts_.topology.node_of(thread_index)),
           b_(sketch.opts_.b),
-          local_(sketch.opts_.b) {}
+          presort_(sketch.presort_),
+          net_merge_(sketch.presort_ && sketch.opts_.b > 16 && sketch.opts_.b % 16 == 0),
+          local_(sketch.opts_.b) {
+      if (net_merge_) sorted_.resize(b_);
+    }
 
     Updater(const Updater&) = delete;
     Updater& operator=(const Updater&) = delete;
@@ -130,7 +175,12 @@ class Quancurrent {
         : sketch_(std::exchange(other.sketch_, nullptr)),
           node_(other.node_),
           b_(other.b_),
+          presort_(other.presort_),
+          net_merge_(other.net_merge_),
           local_(std::move(other.local_)),
+          sorted_(std::move(other.sorted_)),
+          sort_aux_(std::move(other.sort_aux_)),
+          merger_(std::move(other.merger_)),
           count_(std::exchange(other.count_, 0)) {}
     Updater& operator=(Updater&&) = delete;
 
@@ -138,9 +188,28 @@ class Quancurrent {
 
     void update(const T& v) {
       local_[count_++] = v;
-      if (count_ == b_) {
-        sketch_->flush_chunk(node_, local_.data(), b_);
-        count_ = 0;
+      if (count_ == b_) flush_local();
+    }
+
+    // Bulk ingestion: memcpy-fills the local buffer in chunk-sized strides
+    // instead of one element (and one full-buffer branch) per call.  With
+    // pre-sorting disabled, whole b-chunks are flushed straight from `vs`
+    // without touching the local buffer at all.
+    void update(std::span<const T> vs) {
+      std::size_t i = 0;
+      const std::size_t n = vs.size();
+      while (i < n) {
+        if (count_ == 0 && !presort_ && n - i >= b_) {
+          sketch_->flush_chunk(node_, vs.data() + i, b_);
+          i += b_;
+          continue;
+        }
+        const std::size_t take =
+            std::min<std::size_t>(b_ - count_, n - i);
+        std::memcpy(local_.data() + count_, vs.data() + i, take * sizeof(T));
+        count_ += static_cast<std::uint32_t>(take);
+        i += take;
+        if (count_ == b_) flush_local();
       }
     }
 
@@ -154,19 +223,58 @@ class Quancurrent {
     }
 
    private:
+    // Stage 1 of the ingest pipeline: sort the full local buffer while it is
+    // cache-hot, then flush it as one pre-sorted b-chunk.  b <= 16 buffers go
+    // straight through a branchless sorting network (inside batch_sort /
+    // small_sort); larger 16-aligned buffers network-sort each 16-block and
+    // chunk-merge them — both paths keep the per-update sort cost a fraction
+    // of what the owner's from-scratch full sort used to pay per item.
+    void flush_local() {
+      if (presort_) {
+        if (net_merge_) {
+          for (std::uint32_t off = 0; off < b_; off += 16) {
+            small_sort(std::span<T>(local_.data() + off, 16), sketch_->cmp_);
+          }
+          merger_.merge(std::span<const T>(local_), 16, std::span<T>(sorted_),
+                        sketch_->cmp_);
+          sketch_->flush_chunk(node_, sorted_.data(), b_);
+          count_ = 0;
+          return;
+        }
+        batch_sort(std::span<T>(local_), sort_aux_, sketch_->cmp_);
+      }
+      sketch_->flush_chunk(node_, local_.data(), b_);
+      count_ = 0;
+    }
+
     Quancurrent* sketch_;
     std::uint32_t node_;
     std::uint32_t b_;
+    bool presort_;
+    bool net_merge_;  // pre-sort via 16-networks + chunk merge (16 | b)
     std::vector<T> local_;
+    std::vector<T> sorted_;    // net_merge_ output, flushed instead of local_
+    std::vector<T> sort_aux_;  // radix scratch for the local pre-sort
+    ChunkMerger<T, Compare> merger_;
     std::uint32_t count_ = 0;
   };
 
   Updater make_updater(std::uint32_t thread_index) { return Updater(*this, thread_index); }
 
-  // Flushes partially filled gather buffers and compacts the tail into full
-  // batches.  Precondition: no concurrent update() calls (updaters must have
-  // drained); concurrent queries are fine.
+  // Flushes partially filled gather buffers, drains batches still parked in
+  // the install queue, and compacts the tail into full batches.
+  // Precondition: no concurrent update() calls (updaters must have drained);
+  // concurrent queries are fine.  Updaters only return from a flush once
+  // their batch is installed, so with the precondition held the install
+  // queue can be non-empty here only via enqueue_batch(); the drain below
+  // plus the head==tail assert both handle that case and document the
+  // precondition — a queue that stays non-empty means an updater is still
+  // live and quiesce() was entered too early.
   void quiesce() {
+    drain_installs();
+    assert(install_head_.load(std::memory_order_acquire) ==
+               install_tail_.load(std::memory_order_acquire) &&
+           "quiesce() requires all concurrent updaters to have returned");
     for (auto& node : nodes_) {
       for (auto& gb : node->bufs) {
         const std::uint64_t committed = gb->committed.load(std::memory_order_acquire);
@@ -224,7 +332,45 @@ class Quancurrent {
     s.propagations = stat_propagations_.load(std::memory_order_relaxed);
     s.holes = stat_holes_.load(std::memory_order_relaxed);
     s.query_retries = stat_query_retries_.load(std::memory_order_relaxed);
+    s.gather_waits = stat_gather_waits_.load(std::memory_order_relaxed);
+    s.latch_spins = stat_latch_spins_.load(std::memory_order_relaxed);
+    s.installs = stat_installs_.load(std::memory_order_relaxed);
+    s.combined_installs = stat_combined_installs_.load(std::memory_order_relaxed);
+    s.max_combine = stat_max_combine_.load(std::memory_order_relaxed);
     return s;
+  }
+
+  // ----- install queue hooks -----------------------------------------------
+
+  // Parks a sorted 2k batch in the install queue WITHOUT draining it, and
+  // returns its queue position; pair with drain_installs().  Blocks if the
+  // queue is full.  This is the diagnostic/test surface for exercising
+  // multi-batch combining deterministically; production ingestion always
+  // follows an enqueue with drain_until(), so the queue self-drains.
+  std::uint64_t enqueue_batch(std::span<const T> sorted_batch) {
+    assert(sorted_batch.size() == cap_);
+    assert(std::is_sorted(sorted_batch.begin(), sorted_batch.end(), cmp_));
+    const std::uint64_t pos = acquire_cell();
+    InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
+    std::memcpy(cell.items.data(), sorted_batch.data(), cap_ * sizeof(T));
+    cell.seq.store(pos + 1, std::memory_order_release);
+    return pos;
+  }
+
+  // Installs every batch currently parked in the install queue (in groups of
+  // up to install_combine, like any drain).  Used by quiesce() and the
+  // combining-depth benchmarks.
+  void drain_installs() {
+    Backoff backoff;
+    while (install_head_.load(std::memory_order_acquire) !=
+           install_tail_.load(std::memory_order_acquire)) {
+      if (!latch_.test_and_set(std::memory_order_acquire)) {
+        drain_group();
+        latch_.clear(std::memory_order_release);
+      } else {
+        backoff.spin();
+      }
+    }
   }
 
   // ----- queries -----------------------------------------------------------
@@ -281,7 +427,9 @@ class Quancurrent {
     // Private copy of one level's occupied slots, tagged with the install
     // epoch the copy reflects.  Valid for reuse while the level's published
     // epoch and trit both still match: slot contents change only through
-    // installs, and every install that writes a level bumps its epoch.
+    // installs, and every batch cascade that writes a level stores a fresh
+    // epoch (unique per batch, not per publish group, so two writes of the
+    // same level within one combined group are distinguishable).
     struct LevelCache {
       std::uint64_t epoch = kNever;
       std::uint32_t trit = 0;
@@ -291,37 +439,57 @@ class Quancurrent {
     void refresh_impl(bool force_full) {
       auto& s = *sketch_;
       holes_ = 0;
+      Backoff backoff;
       for (std::uint32_t attempt = 0;; ++attempt) {
         // Snapshot validation uses the install sequence number, not tritmap
         // equality: the tritmap word can return to a previous value (ABA)
         // after several installs, but install_seq_ is monotonic, so
-        // seq-stable implies no install published during the copy — and
-        // installs only write slots their pre-publish tritmap marks empty,
-        // so every run we copied was stable.
+        // seq-stable implies no install group published during the copy.
+        // Single-batch groups only write slots their pre-publish tritmap
+        // marks empty, so every run copied under a stable seq was stable;
+        // multi-batch groups that must rewrite a published-occupied slot
+        // hold install_seq_ ODD for the duration (seqlock), so a copy window
+        // overlapping such writes can never validate: it either starts on an
+        // odd seq (rejected here) or spans the even->odd flip (rejected by
+        // the re-check below).
         const std::uint64_t seq = s.install_seq_.load(std::memory_order_acquire);
-        if (!force_full && seq == snap_seq_ &&
+        const bool unstable = (seq & 1) != 0;
+        if (!force_full && !unstable && seq == snap_seq_ &&
             s.tail_version_.load(std::memory_order_acquire) == snap_tail_ver_) {
           // Nothing published and no tail churn since the last validated
           // snapshot: the summary is already current.
           return;
         }
+        const bool last_attempt = attempt + 1 == kSnapshotRetries;
+        if (unstable && !last_attempt) {
+          if (s.opts_.collect_stats) {
+            s.stat_query_retries_.fetch_add(1, std::memory_order_relaxed);
+          }
+          backoff.spin();
+          continue;
+        }
         const Tritmap tm = s.tritmap_.load(std::memory_order_acquire);
         assert(tm.trit(0) == 0);  // published tritmaps always have level 0 drained
         collect_levels(tm, force_full);
         const std::uint64_t tail_ver = copy_tail();
+        // The copy loads above are acquire, so this re-check load cannot be
+        // reordered before them, and a copy that observed a dangerous write
+        // synchronizes with the installer's odd flip (see collect_levels) —
+        // it cannot re-read the pre-flip (even) seq here.
         const std::uint64_t check = s.install_seq_.load(std::memory_order_acquire);
-        if (check == seq) {
+        if (!unstable && check == seq) {
           snap_seq_ = seq;
           snap_tail_ver_ = tail_ver;
           build(tm, /*runs_may_be_torn=*/false);
           return;
         }
-        if (attempt + 1 == kSnapshotRetries) {
-          // Accept the snapshot; each racing install may have recycled
-          // arrays under our copy.  Count them as holes, as the paper does.
-          // Torn copies may not be sorted, so build via the global-sort
-          // fallback, and poison the cache so the next refresh re-copies.
-          holes_ = check - seq;
+        if (last_attempt) {
+          // Accept the snapshot; each racing install group may have recycled
+          // arrays under our copy.  Count the groups as holes, as the paper
+          // does.  Torn copies may not be sorted, so build via the
+          // global-sort fallback, and poison the cache so the next refresh
+          // re-copies.
+          holes_ = std::max<std::uint64_t>(1, (check - seq) / 2);
           if (s.opts_.collect_stats) {
             s.stat_holes_.fetch_add(holes_, std::memory_order_relaxed);
           }
@@ -339,10 +507,13 @@ class Quancurrent {
 
     // Copies the occupied slots of every level the tritmap references,
     // skipping levels whose cached copy is still current.  The epoch is
-    // loaded (acquire) before the slot reads: install_batch publishes a
+    // loaded (acquire) before the slot reads: a batch cascade publishes a
     // level's epoch with a release store *after* writing its slots, so a
     // cache entry tagged with epoch E always holds the fully written
-    // epoch-E contents whenever E is still the level's published epoch.
+    // epoch-E contents whenever E is still the level's published epoch.  (A
+    // later cascade rewriting the level while we copy leaves our entry
+    // tagged with the OLD epoch and stores a new one, so the torn entry can
+    // never be reused.)
     void collect_levels(Tritmap tm, bool force_full) {
       auto& s = *sketch_;
       const std::uint32_t k = s.opts_.k;
@@ -358,11 +529,14 @@ class Quancurrent {
           T* arr = s.slot_ptr(level, slot);
           T* dst = c.runs.data() + static_cast<std::size_t>(slot) * k;
           for (std::uint32_t i = 0; i < k; ++i) {
-            // Relaxed atomic load pairs with install_batch's atomic stores:
-            // if an install recycles this slot under us the value is stale or
-            // torn-but-defined, and the validation loop / hole count above
-            // handles it.
-            dst[i] = std::atomic_ref<T>(arr[i]).load(std::memory_order_relaxed);
+            // Acquire load pairs with apply_cascade's release stores (free
+            // on x86/TSO).  If a combined install dangerously rewrites this
+            // slot under us, reading any rewritten value synchronizes with
+            // its store and therefore makes the installer's preceding odd
+            // seq flip visible to refresh_impl's re-check, which rejects
+            // the snapshot; a value that is merely stale is consistent with
+            // the tritmap we validated against.
+            dst[i] = std::atomic_ref<T>(arr[i]).load(std::memory_order_acquire);
           }
         }
         c.epoch = epoch;
@@ -431,14 +605,29 @@ class Quancurrent {
 
   // One Gather&Sort buffer.  All three counters are monotonic: reservation
   // position p belongs to ordinal p / cap, and a buffer serves ordinal o only
-  // once `ordinal` has advanced to o.
+  // once `ordinal` has advanced to o.  merger/sort_aux are owner-only
+  // scratch: exactly one owner exists per buffer at a time (the next
+  // ordinal's owner cannot finish committing before the current owner
+  // reopens the ordinal, and the current owner stops touching the scratch
+  // before reopening).
   struct Gather {
     explicit Gather(std::uint64_t cap) : slots(cap) {}
     alignas(64) std::atomic<std::uint64_t> reserved{0};
     alignas(64) std::atomic<std::uint64_t> committed{0};
     alignas(64) std::atomic<std::uint64_t> ordinal{0};
     std::vector<T> slots;
-    std::vector<T> sort_aux;  // owner-only radix scratch
+    std::vector<T> sort_aux;           // full-sort fallback radix scratch
+    ChunkMerger<T, Compare> merger;    // chunk-merge Gather&Sort
+  };
+
+  // One cell of the bounded MPSC install hand-off queue (Vyukov-style ticket
+  // ring).  For ticket position p, `seq` moves p (free, producer may claim)
+  // -> p + 1 (filled with a sorted 2k batch, drainer may install) -> p + Q
+  // (free for the next lap).  Producers claim tickets with an F&A on
+  // install_tail_; only the latch holder advances install_head_.
+  struct InstallCell {
+    alignas(64) std::atomic<std::uint64_t> seq{0};
+    std::vector<T> items;  // cap_ sorted items
   };
 
   struct Node {
@@ -456,7 +645,10 @@ class Quancurrent {
   }
 
   // Moves a full local buffer into the node's gather buffer; the committer of
-  // the final slot becomes the batch owner and runs Gather&Sort + install.
+  // the final slot becomes the batch owner and runs Gather&Sort (a multiway
+  // merge of the buffer's pre-sorted b-chunks straight into an install-queue
+  // cell), reopens the ordinal, and hands the batch to the combining
+  // installer.
   void flush_chunk(std::uint32_t node_idx, const T* items, std::uint32_t count) {
     Node& node = *nodes_[node_idx];
     const std::uint64_t gen = node.cur.load(std::memory_order_acquire);
@@ -469,6 +661,9 @@ class Quancurrent {
       // writers to the next buffer, then wait for our ordinal to open.
       std::uint64_t expected = gen;
       node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
+      if (opts_.collect_stats) {
+        stat_gather_waits_.fetch_add(1, std::memory_order_relaxed);
+      }
       Backoff backoff;
       while (gb.ordinal.load(std::memory_order_acquire) != ord) backoff.spin();
     }
@@ -477,12 +672,23 @@ class Quancurrent {
         gb.committed.fetch_add(count, std::memory_order_acq_rel) + count;
     if (done == (ord + 1) * cap_) {
       // Owner: every slot of this ordinal is committed.  Point writers at the
-      // next buffer, Gather&Sort, install, then open the next ordinal.
+      // next buffer, build the sorted batch in an install cell, reopen the
+      // ordinal (ingestion into this buffer resumes immediately), then see
+      // the batch through the combining installer.
       std::uint64_t expected = gen;
       node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
-      batch_sort(std::span<T>(gb.slots), gb.sort_aux, cmp_);
-      install_batch(std::span<const T>(gb.slots.data(), cap_));
+      const std::uint64_t cell_pos = acquire_cell();
+      InstallCell& cell = install_q_[cell_pos & (opts_.install_queue - 1)];
+      if (presort_) {
+        gb.merger.merge(std::span<const T>(gb.slots.data(), cap_), opts_.b,
+                        std::span<T>(cell.items.data(), cap_), cmp_);
+      } else {
+        batch_sort(std::span<T>(gb.slots), gb.sort_aux, cmp_);
+        std::memcpy(cell.items.data(), gb.slots.data(), cap_ * sizeof(T));
+      }
       gb.ordinal.store(ord + 1, std::memory_order_release);
+      cell.seq.store(cell_pos + 1, std::memory_order_release);
+      drain_until(cell_pos);
     }
   }
 
@@ -496,27 +702,120 @@ class Quancurrent {
     tail_version_.fetch_add(1, std::memory_order_release);
   }
 
-  // Installs a sorted 2k batch: runs the whole propagation cascade against a
-  // private copy of the tritmap, writing only slots the published tritmap
-  // marks empty, then publishes batch + cascade with a single CAS.
-  //
-  // latch_ serializes installers, and protects exactly the pre-publication
-  // install state: the empty levels_ slots being written, scratch_, rng_
-  // (the parity coins), level_epoch_, the tritmap_ CAS, and the
-  // install_seq_ bump.  Nothing under the latch allocates (scratch_ and the
-  // levels grid are preallocated), and the stats counters are updated after
-  // the latch is released.
-  void install_batch(std::span<const T> sorted_batch) {
+  // Claims the next install-queue ticket and waits (backpressure) until its
+  // cell is free.  The wait can only be on a cell still holding a batch from
+  // the previous lap, whose producer is parked in drain_until() and will
+  // drain it, so progress is guaranteed.
+  std::uint64_t acquire_cell() {
+    const std::uint64_t pos = install_tail_.fetch_add(1, std::memory_order_acq_rel);
+    InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
     Backoff backoff;
-    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
-    const std::uint64_t next_seq = install_seq_.load(std::memory_order_relaxed) + 1;
+    while (cell.seq.load(std::memory_order_acquire) != pos) backoff.spin();
+    return pos;
+  }
+
+  // Enqueues a sorted 2k batch and sees it through installation; the
+  // quiesce/tail path (no gather buffer involved) and tests use this.
+  void install_batch(std::span<const T> sorted_batch) {
+    drain_until(enqueue_batch(sorted_batch));
+  }
+
+  // Waits until the batch at queue position `my_pos` is published, helping:
+  // whenever the latch is free the caller takes it and drains a group.  An
+  // owner whose batch is installed by another drainer returns without ever
+  // holding the latch — that is the combining win under contention.
+  void drain_until(std::uint64_t my_pos) {
+    Backoff backoff;
+    for (;;) {
+      if (install_head_.load(std::memory_order_acquire) > my_pos) return;
+      if (!latch_.test_and_set(std::memory_order_acquire)) {
+        drain_group();
+        latch_.clear(std::memory_order_release);
+      } else {
+        if (opts_.collect_stats) {
+          stat_latch_spins_.fetch_add(1, std::memory_order_relaxed);
+        }
+        backoff.spin();
+      }
+    }
+  }
+
+  // Drains up to install_combine ready batches (FIFO), applies all their
+  // cascades against a private tritmap, and publishes the whole group with a
+  // single tritmap CAS and a single net install_seq_ advance of 2.
+  //
+  // Caller must hold latch_.  The latch serializes drainers, and protects
+  // exactly the pre-publication install state: the levels_ slots being
+  // written, scratch_, rng_ (the parity coins), epoch_counter_ /
+  // level_epoch_, install_head_, the tritmap_ CAS, and the install_seq_
+  // advance.  Nothing under the latch allocates (cells, scratch_, and the
+  // levels grid are preallocated), and the stats counters are updated by the
+  // caller's helpers only through relaxed atomics.
+  //
+  // Seqlock phase: the first batch of a group starts from the published
+  // tritmap, so (like the old single-batch installer) it only writes slots
+  // the published tritmap marks empty — invisible to queriers.  A LATER
+  // batch of the same group can refill a level an earlier batch consumed,
+  // rewriting a slot queriers may be copying; before the first such write
+  // the group flips install_seq_ odd, and the final advance restores even
+  // parity, so any query copy window overlapping a dangerous write fails
+  // validation (see Querier::refresh_impl).
+  void drain_group() {
+    const std::uint64_t start = install_head_.load(std::memory_order_relaxed);
+    std::uint64_t head = start;
     Tritmap published = tritmap_.load(std::memory_order_relaxed);
-    Tritmap tm = published.after_batch_update();
-    // Level 0's two arrays exist only inside `sorted_batch`; each cascade
-    // step compacts a sorted 2k source into the free slot one level up.
-    std::span<const T> source = sorted_batch;
-    std::uint32_t level = 0;
+    Tritmap tm = published;
     std::uint64_t steps = 0;
+    bool seq_odd = false;
+    while (head - start < opts_.install_combine) {
+      InstallCell& cell = install_q_[head & (opts_.install_queue - 1)];
+      if (cell.seq.load(std::memory_order_acquire) != head + 1) break;
+      tm = apply_cascade(tm, published,
+                         std::span<const T>(cell.items.data(), cap_), seq_odd, steps);
+      // The cascade fully consumed the cell's items; free it for the next
+      // lap before publishing so producers stall as little as possible.
+      cell.seq.store(head + opts_.install_queue, std::memory_order_release);
+      ++head;
+    }
+    if (head == start) return;
+    const bool swapped = tritmap_.compare_exchange_strong(
+        published, tm, std::memory_order_release, std::memory_order_relaxed);
+    assert(swapped);
+    (void)swapped;
+    // Net +2 per group keeps install_seq_ even outside dangerous write
+    // phases; a group that flipped odd adds the second half here.
+    install_seq_.fetch_add(seq_odd ? 1 : 2, std::memory_order_release);
+    install_head_.store(head, std::memory_order_release);
+    if (opts_.collect_stats) {
+      const std::uint64_t drained = head - start;
+      stat_batches_.fetch_add(drained, std::memory_order_relaxed);
+      stat_propagations_.fetch_add(steps, std::memory_order_relaxed);
+      stat_installs_.fetch_add(1, std::memory_order_relaxed);
+      if (drained > 1) {
+        stat_combined_installs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::uint64_t seen = stat_max_combine_.load(std::memory_order_relaxed);
+      while (seen < drained && !stat_max_combine_.compare_exchange_weak(
+                                   seen, drained, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  // Applies one sorted 2k batch's full propagation cascade against the
+  // group-private tritmap `tm`, writing level slots and epochs; returns the
+  // evolved tritmap.  `published` is the tritmap queriers can currently see:
+  // writing a slot below its trit requires the seqlock odd phase (entered
+  // lazily, at most once per group).  Caller must hold latch_.
+  Tritmap apply_cascade(Tritmap tm, Tritmap published, std::span<const T> batch,
+                        bool& seq_odd, std::uint64_t& steps) {
+    tm = tm.after_batch_update();
+    // Every batch cascade gets a fresh epoch so that two writes of the same
+    // level within one group are distinguishable to querier run caches.
+    const std::uint64_t epoch = ++epoch_counter_;
+    // Level 0's two arrays exist only inside `batch`; each cascade step
+    // compacts a sorted 2k source into the free slot one level up.
+    std::span<const T> source = batch;
+    std::uint32_t level = 0;
     while (tm.trit(level) == 2) {
       const std::uint32_t dest_level = level + 1;
       if (dest_level >= kPreallocLevels) {
@@ -526,17 +825,30 @@ class Quancurrent {
                              "for this stream length)\n", opts_.k);
         std::abort();
       }
-      T* dest = slot_ptr(dest_level, tm.trit(dest_level));
+      const std::uint32_t dest_slot = tm.trit(dest_level);
+      if (!seq_odd && dest_slot < published.trit(dest_level)) {
+        // About to rewrite a slot queriers may be copying: enter the
+        // dangerous-write phase.  The flip itself can be relaxed — it
+        // happens-before every subsequent slot store (program order), and
+        // each slot store is a release paired with the querier's acquire
+        // copy loads, so any querier that reads even one dangerously
+        // written item observes the odd flip at its re-check and retries.
+        install_seq_.fetch_add(1, std::memory_order_relaxed);
+        seq_odd = true;
+      }
+      T* dest = slot_ptr(dest_level, dest_slot);
       const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
       for (std::uint32_t i = 0; i < opts_.k; ++i) {
-        // Atomic store pairs with Querier::collect_levels' relaxed loads.
+        // Release store pairs with Querier::collect_levels' acquire loads:
+        // free on x86/TSO, and it carries the seqlock odd flip above to any
+        // querier that reads this value (see the odd-flip comment).
         std::atomic_ref<T>(dest[i]).store(source[2 * i + parity],
-                                          std::memory_order_relaxed);
+                                          std::memory_order_release);
       }
       // Release the level's new epoch only after its slot writes so that a
       // querier reading this epoch (acquire) sees fully written runs; see
       // Querier::collect_levels.
-      level_epoch_[dest_level].store(next_seq, std::memory_order_release);
+      level_epoch_[dest_level].store(epoch, std::memory_order_release);
       tm = tm.after_install_propagation(level);
       level = dest_level;
       ++steps;
@@ -546,20 +858,12 @@ class Quancurrent {
         source = std::span<const T>(scratch_.data(), cap_);
       }
     }
-    const bool swapped = tritmap_.compare_exchange_strong(
-        published, tm, std::memory_order_release, std::memory_order_relaxed);
-    assert(swapped);
-    (void)swapped;
-    install_seq_.fetch_add(1, std::memory_order_release);
-    latch_.clear(std::memory_order_release);
-    if (opts_.collect_stats) {
-      stat_batches_.fetch_add(1, std::memory_order_relaxed);
-      stat_propagations_.fetch_add(steps, std::memory_order_relaxed);
-    }
+    return tm;
   }
 
   Options opts_;
   std::uint64_t cap_ = 0;  // gather batch size: 2k
+  bool presort_ = true;    // presort_chunks resolved against b | 2k
   Compare cmp_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -569,16 +873,28 @@ class Quancurrent {
   std::vector<T> levels_;
   std::atomic<Tritmap> tritmap_{Tritmap(0)};
 
-  // level_epoch_[l]: install_seq of the last install that wrote level l's
-  // slots (not merely cleared them).  Queriers use it to reuse cached runs
-  // across refreshes; see Querier::collect_levels.
+  // level_epoch_[l]: epoch_counter_ value of the last batch cascade that
+  // wrote level l's slots (not merely cleared them).  Queriers use it to
+  // reuse cached runs across refreshes; see Querier::collect_levels.
   std::array<std::atomic<std::uint64_t>, kPreallocLevels> level_epoch_{};
 
-  // Install path (owner-only), serialized by `latch_`.
+  // Bounded MPSC install hand-off queue; see InstallCell.  install_tail_ is
+  // the producers' ticket counter, install_head_ the count of batches whose
+  // install has been published (only the latch holder stores it).
+  std::unique_ptr<InstallCell[]> install_q_;
+  alignas(64) std::atomic<std::uint64_t> install_tail_{0};
+  alignas(64) std::atomic<std::uint64_t> install_head_{0};
+
+  // Install/drain path (one latch holder at a time), serialized by `latch_`.
   std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
   std::vector<T> scratch_;
   Xoshiro256 rng_{0};
-  std::atomic<std::uint64_t> install_seq_{0};  // monotonic; bumped per publish
+  std::uint64_t epoch_counter_ = 0;  // per-batch-cascade; latch-protected
+
+  // Monotonic publish clock: advances by a net 2 per published group, and is
+  // ODD exactly while a combined group is rewriting published-occupied slots
+  // (the seqlock phase queriers must not validate across).
+  std::atomic<std::uint64_t> install_seq_{0};
 
   // Tail: weight-1 residue from drains and quiesce, outside the tritmap.
   // tail_version_ bumps on every tail mutation so queriers can detect an
@@ -592,6 +908,11 @@ class Quancurrent {
   mutable std::atomic<std::uint64_t> stat_propagations_{0};
   mutable std::atomic<std::uint64_t> stat_holes_{0};
   mutable std::atomic<std::uint64_t> stat_query_retries_{0};
+  mutable std::atomic<std::uint64_t> stat_gather_waits_{0};
+  mutable std::atomic<std::uint64_t> stat_latch_spins_{0};
+  mutable std::atomic<std::uint64_t> stat_installs_{0};
+  mutable std::atomic<std::uint64_t> stat_combined_installs_{0};
+  mutable std::atomic<std::uint64_t> stat_max_combine_{0};
 };
 
 }  // namespace qc::core

@@ -9,6 +9,17 @@
 // propagates up the ladder, merging and re-compacting wherever a level is
 // already occupied.  The expected normalized rank error is O(1/k).
 //
+// The base buffer is kept as a sequence of pre-sorted chunks: every time it
+// crosses a `presort_chunk` boundary the newest chunk is sorted in place
+// while it is still cache-hot, and the compaction/query paths produce the
+// fully sorted base with the same chunk-merge primitive Quancurrent's
+// Gather&Sort uses (core/run_merge.hpp ChunkMerger) instead of a
+// from-scratch full sort — the Ivkin-style amortization of update-time sort
+// work.  The
+// merged output is the same value sequence a full sort would produce, so the
+// sketch's state and answers are bit-identical either way (presort_chunk = 0
+// restores the plain full-sort path).
+//
 // Queries go through the same merge-based engine as Quancurrent's Querier
 // (core/run_merge.hpp): the levels are sorted runs already, so the summary is
 // a multiway merge into a prefix-weight array, and quantile/rank are binary
@@ -53,15 +64,23 @@ std::vector<T> sample_odd_or_even(std::span<const T> sorted, bool keep_odd) {
 template <typename T, typename Compare = std::less<T>>
 class QuantilesSketch {
  public:
-  explicit QuantilesSketch(std::uint32_t k, std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+  explicit QuantilesSketch(std::uint32_t k, std::uint64_t seed = 0x5eed5eed5eed5eedULL,
+                           std::uint32_t presort_chunk = 256)
       : k_(k == 0 ? 1 : k), rng_(seed), cmp_() {
     base_.reserve(2 * static_cast<std::size_t>(k_));
+    chunk_ = std::min<std::size_t>(presort_chunk, 2 * static_cast<std::size_t>(k_));
+    if (chunk_ == 2 * static_cast<std::size_t>(k_)) chunk_ = 0;  // one chunk = full sort
   }
 
   void update(const T& v) {
     base_.push_back(v);
     ++n_;
     dirty_ = true;
+    if (chunk_ > 1 && base_.size() % chunk_ == 0) {
+      // Sort the just-completed chunk while it is cache-hot; the base buffer
+      // stays a sequence of sorted chunk_-runs plus an unsorted tail.
+      std::sort(base_.end() - static_cast<std::ptrdiff_t>(chunk_), base_.end(), cmp_);
+    }
     if (base_.size() == 2 * static_cast<std::size_t>(k_)) compact_base();
   }
 
@@ -103,9 +122,9 @@ class QuantilesSketch {
 
  private:
   void compact_base() {
-    std::sort(base_.begin(), base_.end(), cmp_);
+    sorted_base_into(compact_scratch_);
     std::vector<T> carry =
-        sample_odd_or_even(std::span<const T>(base_), rng_.next_bool());
+        sample_odd_or_even(std::span<const T>(compact_scratch_), rng_.next_bool());
     base_.clear();
     propagate(std::move(carry), 1);
   }
@@ -126,12 +145,35 @@ class QuantilesSketch {
     }
   }
 
+  // Produces the fully sorted contents of the base buffer in `out`.  With
+  // chunk pre-sorting on, base_ is already a sequence of sorted chunk_-runs
+  // (plus an unsorted tail below the last chunk boundary), so this is the
+  // shared chunk-merge primitive, not a full sort; either path yields the
+  // identical sorted value sequence.
+  void sorted_base_into(std::vector<T>& out) const {
+    const std::size_t n = base_.size();
+    if (chunk_ <= 1 || n <= chunk_) {
+      out = base_;
+      std::sort(out.begin(), out.end(), cmp_);
+      return;
+    }
+    chunk_scratch_ = base_;
+    const std::size_t tail = n % chunk_;
+    if (tail != 0) {
+      std::sort(chunk_scratch_.end() - static_cast<std::ptrdiff_t>(tail),
+                chunk_scratch_.end(), cmp_);
+    }
+    out.resize(n);
+    chunk_merger_.merge(std::span<const T>(chunk_scratch_), chunk_, std::span<T>(out),
+                        cmp_);
+  }
+
   void build_summary() const {
     if (!dirty_) return;
-    // The base buffer is the one unsorted run; sort a copy, then hand every
-    // run (base + occupied levels) to the multiway merge.
-    sorted_base_ = base_;
-    std::sort(sorted_base_.begin(), sorted_base_.end(), cmp_);
+    // The base buffer's sorted image is the one weight-1 run; every other
+    // run (the occupied levels) is already sorted, and the multiway merge
+    // assembles the summary.
+    sorted_base_into(sorted_base_);
     runs_.clear();
     if (!sorted_base_.empty()) {
       runs_.push_back({sorted_base_.data(), sorted_base_.size(), 1});
@@ -147,10 +189,14 @@ class QuantilesSketch {
   std::uint32_t k_;
   Xoshiro256 rng_;
   Compare cmp_;
+  std::size_t chunk_ = 0;  // pre-sorted chunk length; <= 1 disables
   std::uint64_t n_ = 0;
-  std::vector<T> base_;                  // weight-1 items, unsorted
-  std::vector<std::vector<T>> levels_;   // levels_[i]: k items of weight 2^(i+1)
+  std::vector<T> base_;                 // weight-1 items, sorted chunk-wise
+  std::vector<std::vector<T>> levels_;  // levels_[i]: k items of weight 2^(i+1)
+  std::vector<T> compact_scratch_;
   mutable std::vector<T> sorted_base_;
+  mutable std::vector<T> chunk_scratch_;
+  mutable core::ChunkMerger<T, Compare> chunk_merger_;
   mutable std::vector<core::RunRef<T>> runs_;
   mutable core::RunMerger<T, Compare> merger_;
   mutable core::WeightedSummary<T> summary_;

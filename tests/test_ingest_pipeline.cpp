@@ -1,0 +1,337 @@
+// Tests for the parallel ingest pipeline: pre-sorted local buffers, the
+// chunk-merge Gather&Sort primitives, and the combining installer.
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "core/quancurrent.hpp"
+#include "core/run_merge.hpp"
+#include "qc_test.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+using qc::stream::Distribution;
+
+namespace {
+
+qc::core::Options pipeline_options(std::uint32_t k, std::uint32_t b) {
+  qc::core::Options o;
+  o.k = k;
+  o.b = b;
+  o.collect_stats = true;
+  o.topology = qc::numa::Topology::virtual_nodes(2, 2);
+  return o;
+}
+
+// Random data whose chunk-length runs are each sorted (the chunk-merge
+// precondition), plus the fully sorted expectation.
+struct ChunkedInput {
+  std::vector<double> chunked;
+  std::vector<double> expected;
+};
+
+ChunkedInput make_chunked(std::size_t n, std::size_t chunk, std::uint64_t seed) {
+  qc::Xoshiro256 rng(seed);
+  ChunkedInput in;
+  in.chunked.resize(n);
+  for (auto& v : in.chunked) {
+    v = (rng.next_double() - 0.5) * 1e4;
+    if (rng() % 8 == 0) v = static_cast<double>(static_cast<int>(v) % 8);  // dups
+  }
+  in.expected = in.chunked;
+  std::sort(in.expected.begin(), in.expected.end());
+  const std::size_t c = chunk == 0 ? n : chunk;
+  for (std::size_t off = 0; off < n; off += c) {
+    std::sort(in.chunked.begin() + static_cast<std::ptrdiff_t>(off),
+              in.chunked.begin() + static_cast<std::ptrdiff_t>(std::min(off + c, n)));
+  }
+  return in;
+}
+
+}  // namespace
+
+// Property test: merging pre-sorted chunks produces exactly the value
+// sequence a full sort would, for both the production ChunkMerger and the
+// generic loser-tree raw merge, across sizes, chunk lengths (dividing and
+// not), and the degenerate single-chunk / chunk-of-one cases.
+QC_TEST(chunk_merge_equals_full_sort) {
+  qc::core::ChunkMerger<double> chunk_merger;
+  qc::core::RunMerger<double> tree_merger;
+  std::uint64_t seed = 1;
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000},
+        std::size_t{4096}, std::size_t{8192}}) {
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{3}, std::size_t{16}, std::size_t{100},
+          std::size_t{256}, n, 2 * n}) {
+      const auto in = make_chunked(n, chunk, seed++);
+      std::vector<double> out(n, -1.0);
+      chunk_merger.merge(std::span<const double>(in.chunked), chunk,
+                         std::span<double>(out));
+      CHECK(out == in.expected);
+
+      std::vector<qc::core::RunRef<double>> runs;
+      qc::core::chunk_runs(std::span<const double>(in.chunked), chunk, runs);
+      std::vector<double> tree_out(n, -1.0);
+      const std::size_t written = tree_merger.merge_items(
+          std::span<const qc::core::RunRef<double>>(runs),
+          std::span<double>(tree_out));
+      CHECK_EQ(written, n);
+      CHECK(tree_out == in.expected);
+    }
+  }
+}
+
+// The sorting networks must be true permutations of the input bit patterns:
+// IEEE min/max-style compare-exchanges duplicate one of {+0.0, -0.0} (both
+// compare equal, so only bit inspection catches it).  small_sort runs on
+// every local buffer, so a lossy exchange would silently corrupt the stream.
+QC_TEST(small_sort_preserves_signed_zero_bits) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{16}}) {
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<double> v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = (mask >> i) & 1 ? -0.0 : +0.0;
+      }
+      qc::core::small_sort(std::span<double>(v));
+      // Zeros of either sign compare equal, so any output order is sorted —
+      // but every input bit pattern must survive (permutation property).
+      std::size_t neg = 0;
+      for (const double d : v) neg += std::signbit(d) ? 1 : 0;
+      CHECK_EQ(neg, static_cast<std::size_t>(std::popcount(mask)));
+    }
+  }
+}
+
+// An explicitly configured install queue must still be able to hold one full
+// drain group (normalize's documented guarantee).
+QC_TEST(normalize_keeps_install_queue_at_least_combine_depth) {
+  qc::core::Options o;
+  o.install_combine = 64;
+  o.install_queue = 16;
+  o.normalize();
+  CHECK(o.install_queue >= o.install_combine);
+  CHECK_EQ(o.install_queue & (o.install_queue - 1), 0u);  // power of two
+}
+
+// The combining installer must publish exactly the state serial installs
+// would: same tritmap word, same levels (hence bit-identical summaries),
+// under a deterministic single-threaded schedule that parks several batches
+// in the install queue before any drain runs.
+QC_TEST(combining_installs_match_serial_installs) {
+  const std::uint32_t k = 64;
+  const std::size_t cap = 2 * k;
+  // Pre-sorted batches with distinct contents.
+  std::vector<std::vector<double>> batches;
+  for (int i = 0; i < 7; ++i) {
+    auto b = qc::stream::make_stream(Distribution::kUniform, cap,
+                                     1000 + static_cast<std::uint64_t>(i));
+    std::sort(b.begin(), b.end());
+    batches.push_back(std::move(b));
+  }
+
+  auto opts_with_combine = [&](std::uint32_t combine) {
+    auto o = pipeline_options(k, 8);
+    o.install_combine = combine;
+    o.install_queue = 16;
+    return o;
+  };
+  qc::core::Quancurrent<double> serial(opts_with_combine(1));
+  qc::core::Quancurrent<double> combined(opts_with_combine(8));
+
+  for (auto* sk : {&serial, &combined}) {
+    // One published batch first so later combined cascades must refill a
+    // level the published tritmap marks occupied (the seqlock path).
+    sk->enqueue_batch(std::span<const double>(batches[0]));
+    sk->drain_installs();
+    // Park the remaining six batches, then drain: groups of 1 vs one group
+    // of 6.  Both consume the parity coins in the same (FIFO) order.
+    for (int i = 1; i < 7; ++i) {
+      sk->enqueue_batch(std::span<const double>(batches[static_cast<std::size_t>(i)]));
+    }
+    sk->drain_installs();
+  }
+
+  CHECK_EQ(serial.size(), 7 * cap);
+  CHECK_EQ(combined.size(), 7 * cap);
+  CHECK_EQ(serial.tritmap().raw(), combined.tritmap().raw());
+  CHECK_EQ(serial.retained(), combined.retained());
+
+  auto qs = serial.make_querier();
+  auto qc_ = combined.make_querier();
+  qs.refresh_full();
+  qc_.refresh_full();
+  CHECK(qs.summary() == qc_.summary());  // bit-identical levels content
+
+  const auto ss = serial.stats();
+  const auto cs = combined.stats();
+  CHECK_EQ(ss.batches, 7u);
+  CHECK_EQ(cs.batches, 7u);
+  CHECK_EQ(ss.installs, 7u);
+  CHECK_EQ(ss.combined_installs, 0u);
+  CHECK_EQ(cs.installs, 2u);
+  CHECK_EQ(cs.combined_installs, 1u);
+  CHECK_EQ(cs.max_combine, 6u);
+}
+
+// quiesce() must install batches still parked in the install queue before
+// counting gather residue and compacting the tail.
+QC_TEST(quiesce_drains_pending_install_queue) {
+  const std::uint32_t k = 64;
+  const std::size_t cap = 2 * k;
+  auto o = pipeline_options(k, 8);
+  o.install_queue = 16;
+  qc::core::Quancurrent<double> sk(o);
+
+  auto batch = qc::stream::make_stream(Distribution::kUniform, cap, 5);
+  std::sort(batch.begin(), batch.end());
+  sk.enqueue_batch(std::span<const double>(batch));
+  sk.enqueue_batch(std::span<const double>(batch));
+  // Partial updater residue rides along through the tail.
+  {
+    auto updater = sk.make_updater(0);
+    for (int i = 0; i < 5; ++i) updater.update(0.5);
+  }
+  CHECK_EQ(sk.size(), 5u);  // queued batches invisible until installed
+  sk.quiesce();
+  CHECK_EQ(sk.size(), 2 * cap + 5);
+  auto q = sk.make_querier();
+  CHECK_EQ(q.size(), 2 * cap + 5);
+  CHECK_EQ(q.rank(1e18), 2 * cap + 5);
+}
+
+// The pre-sort pipeline and the full-sort fallback must produce identical
+// sketch state on the same single-threaded input (same batch order, same
+// parity coins, same sorted batch values).
+QC_TEST(presort_and_fullsort_pipelines_are_bit_identical) {
+  const std::uint64_t n = 50'000;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 29);
+  auto run = [&](bool presort) {
+    auto o = pipeline_options(128, 16);
+    o.presort_chunks = presort;
+    auto sk = std::make_unique<qc::core::Quancurrent<double>>(o);
+    {
+      auto u = sk->make_updater(0);
+      u.update(std::span<const double>(data));
+    }
+    sk->quiesce();
+    return sk;
+  };
+  auto with = run(true);
+  auto without = run(false);
+  CHECK_EQ(with->size(), n);
+  CHECK_EQ(without->size(), n);
+  CHECK_EQ(with->tritmap().raw(), without->tritmap().raw());
+  auto qw = with->make_querier();
+  auto qo = without->make_querier();
+  CHECK(qw.summary() == qo.summary());
+}
+
+// Bulk update(span) must be byte-for-byte equivalent to element-wise
+// update(v), including partial local buffers across odd split points.
+QC_TEST(bulk_update_matches_scalar_update) {
+  const std::uint64_t n = 30'000;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 31);
+  auto o = pipeline_options(64, 8);
+  qc::core::Quancurrent<double> scalar_sk(o);
+  qc::core::Quancurrent<double> bulk_sk(o);
+  {
+    auto u = scalar_sk.make_updater(0);
+    for (const double v : data) u.update(v);
+  }
+  {
+    auto u = bulk_sk.make_updater(0);
+    // Feed in ragged pieces so chunks straddle span boundaries.
+    std::size_t off = 0;
+    std::size_t piece = 1;
+    while (off < n) {
+      const std::size_t len = std::min<std::size_t>(piece, n - off);
+      u.update(std::span<const double>(data.data() + off, len));
+      off += len;
+      piece = piece * 3 + 1;
+    }
+  }
+  scalar_sk.quiesce();
+  bulk_sk.quiesce();
+  CHECK_EQ(scalar_sk.size(), n);
+  CHECK_EQ(bulk_sk.size(), n);
+  CHECK_EQ(scalar_sk.tritmap().raw(), bulk_sk.tritmap().raw());
+  auto qs = scalar_sk.make_querier();
+  auto qb = bulk_sk.make_querier();
+  CHECK(qs.summary() == qb.summary());
+}
+
+// Contention counters must be populated (and stay zero when the workload
+// cannot produce the event).
+QC_TEST(stats_expose_ingest_contention_counters) {
+  const std::uint64_t n = 100'000;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 37);
+  qc::core::Quancurrent<double> sk(pipeline_options(64, 8));
+  qc::bench::ingest_quancurrent(sk, data, 4, /*quiesce=*/true);
+  const auto st = sk.stats();
+  CHECK(st.batches > 0u);
+  CHECK(st.installs > 0u);
+  CHECK(st.installs <= st.batches);
+  CHECK(st.max_combine >= 1u);
+  CHECK(st.max_combine <= sk.options().install_combine);
+  CHECK(st.combined_installs <= st.installs);
+  // Weight conservation across the combining installer.
+  CHECK_EQ(sk.size(), n);
+}
+
+// Mixed updaters + queriers hammering the combining installer; run under
+// whatever sanitizer the build config selects (ASan/UBSan or TSan via
+// -DQC_SANITIZE=thread).  Queriers must only ever observe whole installed
+// batches (size % 2k == 0 while the tail is untouched) and sorted summaries.
+QC_TEST(mixed_updaters_and_queriers_stress) {
+  // Each updater's slice (n / threads) must be a whole number of b-buffers so
+  // the tail stays empty until quiesce and the size % 2k invariant holds.
+  const std::uint64_t n = 160'000;
+  const std::uint32_t k = 64;
+  const std::uint32_t upd_threads = 4;
+  static_assert((160'000 / 4) % 8 == 0);
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 41);
+  auto o = pipeline_options(k, 8);
+  o.install_combine = 4;
+  qc::core::Quancurrent<double> sk(o);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < 2; ++t) {
+    queriers.emplace_back([&] {
+      auto q = sk.make_querier();
+      while (!stop.load(std::memory_order_acquire)) {
+        q.refresh();
+        const std::uint64_t size = q.size();
+        if (q.holes() == 0) {
+          CHECK_EQ(size % (2 * k), 0u);
+        }
+        if (size != 0) {
+          const double med = q.quantile(0.5);
+          CHECK(med >= 0.0 && med < 1.0);
+          const auto items = q.summary().items();
+          CHECK(std::is_sorted(items.begin(), items.end()));
+        }
+      }
+    });
+  }
+  qc::bench::ingest_quancurrent(sk, data, upd_threads);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : queriers) t.join();
+
+  sk.quiesce();
+  auto q = sk.make_querier();
+  CHECK_EQ(q.size(), n);
+  CHECK_EQ(q.size(), sk.size());
+  CHECK_EQ(q.rank(1e18), n);
+}
+
+QC_TEST_MAIN()
