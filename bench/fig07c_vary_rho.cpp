@@ -1,14 +1,16 @@
-// Figure 7c: query throughput and miss rate while varying the freshness
-// threshold ρ = 1 + c·ε.
-// Paper parameters: 8 update threads, 24 query threads, k = 1024, b = 16;
-// ε is the sketch's error parameter; c sweeps {0, 0.5, 1, ..., 5}.
-// Larger ρ serves more queries from the cache: throughput rises, miss rate
-// falls.
+// Figure 7c: throughput while varying ρ, the number of Gather&Sort buffers
+// rotating per NUMA node.  ρ = 1 means every batch owner blocks ingestion
+// into its buffer until Gather&Sort finishes; larger ρ lets writers roll to
+// the next buffer while the owner merges, trading memory (ρ·nodes·2k items)
+// for fewer gather waits.  Reported per ρ: update-only throughput, gather
+// waits per batch, and mixed-workload update/query throughput.
 //
-// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
+// Writes BENCH_rho.json when QC_BENCH_JSON is set.
+//
+// Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B, QC_BENCH_JSON.
 #include <cstdio>
+#include <string>
 
-#include "analysis/error_bounds.hpp"
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
 #include "common/env.hpp"
@@ -23,32 +25,62 @@ int main() {
   const std::uint32_t upd = std::min<std::uint32_t>(
       static_cast<std::uint32_t>(env::get_u64("QC_UPD_THREADS", 8)), scale.max_threads);
   const std::uint32_t qry = std::min<std::uint32_t>(
-      static_cast<std::uint32_t>(env::get_u64("QC_QRY_THREADS", 24)), scale.max_threads);
+      static_cast<std::uint32_t>(env::get_u64("QC_QRY_THREADS", 4)), scale.max_threads);
 
-  const double eps = analysis::classic_sketch_epsilon(k);
+  std::printf("=== Figure 7c: throughput vs rho (Gather&Sort buffers per node) ===\n");
+  std::printf("k=%u b=%u upd=%u qry=%u n=%llu runs=%u\n\n", k, b, upd, qry,
+              static_cast<unsigned long long>(scale.keys), scale.runs);
 
-  std::printf("=== Figure 7c: query throughput & miss rate vs rho ===\n");
-  std::printf("k=%u b=%u upd=%u qry=%u eps(k)=%.5f\n\n", k, b, upd, qry, eps);
+  const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 9);
 
-  const auto prefill = stream::make_stream(stream::Distribution::kUniform, scale.keys, 8);
-  const auto updates = stream::make_stream(stream::Distribution::kUniform, scale.keys, 9);
+  bench::JsonSeries json("fig07c_vary_rho", scale.name, "update_ops_per_sec_vs_rho");
+  Table t({"rho", "update_tput", "waits/batch", "mixed_upd", "mixed_qry", "holes"});
+  for (std::uint32_t rho : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    core::Stats upd_stats;
+    const double upd_tput = bench::average_runs(scale.runs, [&] {
+      core::Options o;
+      o.k = k;
+      o.b = b;
+      o.rho = rho;
+      o.collect_stats = true;
+      o.topology = numa::Topology::virtual_nodes(4, 8);
+      core::Quancurrent<double> sk(o);
+      const double secs = bench::ingest_quancurrent(sk, data, upd);
+      upd_stats = sk.stats();
+      return throughput(data.size(), secs);
+    });
 
-  Table t({"rho", "query_tput", "update_tput", "miss_rate"});
-  for (double c : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
     core::Options o;
     o.k = k;
     o.b = b;
-    o.rho = 1.0 + c * eps;
+    o.rho = rho;
     o.collect_stats = true;
     o.topology = numa::Topology::virtual_nodes(4, 8);
     core::Quancurrent<double> sk(o);
-    bench::ingest_quancurrent(sk, prefill, std::min<std::uint32_t>(8, scale.max_threads),
-                              /*quiesce=*/true);
-    const auto r = bench::run_mixed(sk, updates, upd, qry);
-    t.add_row({"1+" + Table::num(c, 1) + "e", Table::mops(r.query_throughput),
-               Table::mops(r.update_throughput), Table::percent(r.query_miss_rate)});
+    const auto mixed = bench::run_mixed(sk, data, upd, qry);
+
+    const double waits_per_batch =
+        upd_stats.batches == 0 ? 0.0
+                               : static_cast<double>(upd_stats.gather_waits) /
+                                     static_cast<double>(upd_stats.batches);
+    json.add(rho, upd_tput);
+    t.add_row({Table::integer(rho), Table::mops(upd_tput),
+               Table::num(waits_per_batch, 3), Table::mops(mixed.update_throughput),
+               Table::mops(mixed.query_throughput), Table::integer(mixed.holes)});
+    if (rho == 1 || rho == 8) {
+      const std::string tag = "rho" + std::to_string(rho);
+      json.counter(tag + "_gather_waits", static_cast<double>(upd_stats.gather_waits));
+      json.counter(tag + "_batches", static_cast<double>(upd_stats.batches));
+    }
   }
   t.print();
-  std::printf("\npaper shape: higher rho -> higher query throughput, lower miss rate.\n");
+  std::printf("\npaper shape: gather waits fall as rho grows; throughput rises until "
+              "buffers stop being the bottleneck.\n");
+
+  const std::string dir = bench::json_out_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_rho.json";
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

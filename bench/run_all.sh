@@ -2,9 +2,10 @@
 # Runs every built bench binary at smoke scale and fails if any exits
 # non-zero.  Benches that track a perf trajectory (fig06a -> BENCH_ingest
 # incl. ingest contention counters, fig06b -> BENCH_query, micro_primitives
-# -> BENCH_ingest_micro with the Gather&Sort and install-combining sweeps)
-# drop their JSON into QC_BENCH_JSON (default: the build dir), where CI picks
-# them up as artifacts.
+# -> BENCH_ingest_micro with the Gather&Sort and install-combining sweeps,
+# fig07c -> BENCH_rho, ext_sharded_scaling -> BENCH_sharded) drop their JSON
+# into QC_BENCH_JSON (default: the build dir), where CI picks them up as
+# artifacts.
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -u
 
@@ -38,7 +39,8 @@ if [ "${ran}" -eq 0 ]; then
   exit 2
 fi
 
-for json in BENCH_ingest.json BENCH_query.json BENCH_ingest_micro.json; do
+for json in BENCH_ingest.json BENCH_query.json BENCH_ingest_micro.json \
+            BENCH_rho.json BENCH_sharded.json; do
   if [ -f "${QC_BENCH_JSON}/${json}" ]; then
     echo "perf artifact: ${QC_BENCH_JSON}/${json}"
   else

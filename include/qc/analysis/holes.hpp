@@ -1,0 +1,56 @@
+// §4.1 hole analysis: analytic bounds on the expected number of arrays a
+// query must accept unvalidated ("holes") under concurrent ingestion.
+//
+// The paper's result, for a uniform scheduler: the expected number of holes
+// in the first region is bounded by E[H1] <= 1.4 (the maximum, ~1.305, is
+// attained near b = 9), each subsequent region contributes at most half the
+// previous one's bound (a region at level i is rewritten only once per 2^i
+// batches, so a racing install is half as likely to land there), and the
+// total is therefore E[H] <= 2 * E[H1] <= 2.8 regardless of b.
+//
+// The exact closed form depends on the scheduler model; for the bench table
+// we use a smooth surrogate calibrated to the paper's reported extremes
+// (E[H1](1) = 0 — single-element flushes publish atomically w.r.t. the
+// copy, E[H1](9) ~= 1.305 at the maximum, 1.4 global ceiling):
+//
+//   E[H1](b) ~= 1.305 * x * e^(1 - x),  x = (b - 1) / 8.
+//
+// tbl_holes juxtaposes these bounds with the empirical Stats::holes counters
+// from a real (non-uniform) scheduler; same order of magnitude is the
+// expected outcome, not equality.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace qc::analysis {
+
+// Bound on E[H_region]: the expected holes contributed by the region-th most
+// recently rewritten part of a snapshot (region 1 = the batch's entry
+// levels), halving per region.
+inline double expected_region_holes_bound(std::uint32_t region, std::uint32_t b) {
+  if (region == 0 || b == 0) return 0.0;
+  const double x = (static_cast<double>(b) - 1.0) / 8.0;
+  const double h1 = std::min(1.4, 1.305 * x * std::exp(1.0 - x));
+  return h1 / static_cast<double>(std::uint64_t{1} << std::min(region - 1, 62u));
+}
+
+// Bound on E[H]: total expected holes per accepted 2k-batch snapshot, summed
+// over the ladder's regions.  The geometric halving caps this at 2 * E[H1]
+// <= 2.8 for any k; k only sets how many regions exist before the sum has
+// converged.
+inline double expected_batch_holes_bound(std::uint32_t k, std::uint32_t b) {
+  std::uint32_t regions = 1;
+  while ((std::uint64_t{1} << regions) < 2 * static_cast<std::uint64_t>(k) &&
+         regions < 62) {
+    ++regions;
+  }
+  double total = 0.0;
+  for (std::uint32_t region = 1; region <= regions; ++region) {
+    total += expected_region_holes_bound(region, b);
+  }
+  return total;
+}
+
+}  // namespace qc::analysis

@@ -23,12 +23,13 @@ double ingest_sequential(Sketch& sketch, const std::vector<double>& data) {
   return timer.seconds();
 }
 
-// Feeds `data` into a Quancurrent sketch from `threads` update threads, each
+// Feeds `data` into a concurrent sketch (Quancurrent or ShardedQuancurrent —
+// anything with make_updater/quiesce) from `threads` update threads, each
 // owning a contiguous slice; returns wall seconds.  With quiesce=true the
 // measured interval also covers draining local/gather buffers, after which
 // sketch.size() == data.size().
-template <typename T>
-double ingest_quancurrent(core::Quancurrent<T>& sketch, const std::vector<T>& data,
+template <typename Sketch, typename T = typename Sketch::value_type>
+double ingest_quancurrent(Sketch& sketch, const std::vector<T>& data,
                           std::uint32_t threads, bool quiesce = false) {
   if (threads == 0) threads = 1;
   const auto ranges = split_ranges(data.size(), threads);
@@ -86,8 +87,8 @@ inline std::pair<double, double> pooled_refresh_percentiles(
 // paper's query threads do).  Holes/retries are the sketch-stat deltas over
 // the run, so the sketch should be constructed with collect_stats=true for
 // them to be meaningful.
-template <typename T>
-QueryLoadStats run_query_load(core::Quancurrent<T>& sketch, std::uint32_t threads,
+template <typename Sketch>
+QueryLoadStats run_query_load(Sketch& sketch, std::uint32_t threads,
                               std::uint64_t queries_per_thread) {
   if (threads == 0) threads = 1;
   const auto before = sketch.stats();
@@ -125,8 +126,8 @@ struct MixedResult {
 
 // Runs `upd_threads` updaters pushing all of `updates` while `qry_threads`
 // queriers issue refresh+quantile operations until the updates finish.
-template <typename T>
-MixedResult run_mixed(core::Quancurrent<T>& sketch, const std::vector<T>& updates,
+template <typename Sketch, typename T = typename Sketch::value_type>
+MixedResult run_mixed(Sketch& sketch, const std::vector<T>& updates,
                       std::uint32_t upd_threads, std::uint32_t qry_threads) {
   if (upd_threads == 0) upd_threads = 1;
   const auto before = sketch.stats();

@@ -3,6 +3,7 @@
 // std::uniform_random_bit_generator so it plugs into <random> distributions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -46,6 +47,15 @@ class Xoshiro256 {
 
   // Fair coin, used for odd/even compaction sampling.
   constexpr bool next_bool() noexcept { return ((*this)() >> 63) != 0; }
+
+  // Raw state snapshot/restore, so serialized sketches resume their
+  // compaction coin sequence exactly where the source left off.
+  constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

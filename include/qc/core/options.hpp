@@ -2,12 +2,26 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <type_traits>
+#include <vector>
 
 #include "numa/topology.hpp"
 
 namespace qc::core {
 
 struct Options {
+  // Upper bounds on the size-driving fields.  Every one of these multiplies
+  // into a preallocation (levels grid, gather buffers, install-queue cells),
+  // and deserialize accepts only options normalize() leaves untouched, so
+  // the caps both keep the arithmetic inside 32 bits (an unclamped 2k or
+  // power-of-two rounding used to overflow) and deny crafted serde images
+  // unbounded allocations.
+  static constexpr std::uint32_t kMaxK = 1u << 22;           // 64k-item levels grid
+  static constexpr std::uint32_t kMaxRho = 64;               // buffers per node
+  static constexpr std::uint32_t kMaxNodes = 64;             // NUMA nodes
+  static constexpr std::uint32_t kMaxInstallQueue = 1u << 12;  // 2k-item cells
+
   std::uint32_t k = 4096;  // summary size: each level array holds k items
   std::uint32_t b = 16;    // per-thread local buffer (elements moved per F&A)
   std::uint32_t rho = 2;   // Gather&Sort buffers per NUMA node
@@ -38,20 +52,64 @@ struct Options {
   std::uint64_t seed = 0x5eed5eed5eed5eedULL;
   numa::Topology topology = numa::Topology::single_node();
 
-  // Clamps fields into the ranges the engine supports: k >= 2, rho >= 1, b
-  // adjusted down to the nearest divisor of the 2k batch size so that F&A
-  // reservations always tile the gather buffer exactly, install_combine in
-  // [1, 256], and install_queue rounded up to a power of two large enough to
-  // hold one full drain group.
-  void normalize() {
-    if (k < 2) k = 2;
-    if (rho == 0) rho = 1;
-    if (b == 0) b = 1;
+  // One field rewrite normalize() performed (or validate() predicts), with
+  // the rule that forced it — so misconfigurations are reported instead of
+  // silently absorbed.  Quancurrent's constructor prints these once when
+  // collect_stats is set.
+  struct Adjustment {
+    const char* field;
+    std::uint64_t from;
+    std::uint64_t to;
+    const char* rule;
+  };
+
+  // Clamps fields into the ranges the engine supports and returns the list
+  // of rewrites applied: k >= 2, rho >= 1, b adjusted down to the nearest
+  // divisor of the 2k batch size so that F&A reservations always tile the
+  // gather buffer exactly, install_combine in [1, 256], and install_queue
+  // rounded up to a power of two large enough to hold one full drain group.
+  // Normalizing already-normalized options applies (and returns) nothing.
+  std::vector<Adjustment> normalize() {
+    std::vector<Adjustment> log;
+    const auto adjust = [&log](const char* field, auto& value,
+                               std::uint64_t to, const char* rule) {
+      if (static_cast<std::uint64_t>(value) == to) return;
+      log.push_back({field, static_cast<std::uint64_t>(value), to, rule});
+      value = static_cast<std::remove_reference_t<decltype(value)>>(to);
+    };
+    if (k < 2) adjust("k", k, 2, "k >= 2 (a level must hold at least 2 items)");
+    if (k > kMaxK) {
+      adjust("k", k, kMaxK, "k <= 2^22 (bounds the preallocated levels grid)");
+    }
+    if (rho == 0) adjust("rho", rho, 1, "rho >= 1 (at least one gather buffer per node)");
+    if (rho > kMaxRho) {
+      adjust("rho", rho, kMaxRho, "rho <= 64 (bounds per-node gather memory)");
+    }
+    if (topology.nodes > kMaxNodes) {
+      adjust("topology.nodes", topology.nodes, kMaxNodes,
+             "nodes <= 64 (bounds the per-node buffer preallocation)");
+    }
+    if (b == 0) adjust("b", b, 1, "b >= 1 (flush granularity)");
     const std::uint32_t cap = 2 * k;
-    if (b > cap) b = cap;
-    while (cap % b != 0) --b;
-    if (install_combine == 0) install_combine = 1;
-    if (install_combine > 256) install_combine = 256;
+    if (b > cap) adjust("b", b, cap, "b <= 2k (a flush fits one gather batch)");
+    if (cap % b != 0) {
+      std::uint32_t divisor = b;
+      while (cap % divisor != 0) --divisor;
+      adjust("b", b, divisor, "b must divide 2k (flushes tile the gather buffer)");
+    }
+    if (install_combine == 0) {
+      adjust("install_combine", install_combine, 1, "install_combine >= 1");
+    }
+    if (install_combine > 256) {
+      adjust("install_combine", install_combine, 256,
+             "install_combine <= 256 (bounded latch hold)");
+    }
+    if (install_queue > kMaxInstallQueue) {
+      // Also keeps the power-of-two rounding below from overflowing (an
+      // uncapped 2^31+ value used to spin the doubling loop forever).
+      adjust("install_queue", install_queue, kMaxInstallQueue,
+             "install_queue <= 4096 (bounds the hand-off ring's memory)");
+    }
     std::uint32_t want = install_queue;
     if (want == 0) want = 2 * install_combine;
     if (want < 8) want = 8;
@@ -60,7 +118,34 @@ struct Options {
     if (want < install_combine) want = install_combine;
     std::uint32_t cap2 = 8;
     while (cap2 < want) cap2 *= 2;
-    install_queue = cap2;
+    if (install_queue != cap2) {
+      // 0 is the documented "auto" request, not a misconfiguration: size it
+      // silently.  Only explicit values that had to be rounded are reported.
+      if (install_queue == 0) {
+        install_queue = cap2;
+      } else {
+        adjust("install_queue", install_queue, cap2,
+               "install_queue rounded up (power of two holding one drain group)");
+      }
+    }
+    return log;
+  }
+
+  // The adjustments normalize() WOULD apply, without mutating the options —
+  // callers can surface (or reject) misconfigurations before construction.
+  std::vector<Adjustment> validate() const {
+    Options copy = *this;
+    return copy.normalize();
+  }
+
+  // Prints one line per adjustment to stderr; the sketch constructors call
+  // this once under collect_stats so clamped configuration is never silent.
+  static void report(const std::vector<Adjustment>& adjustments) {
+    for (const auto& a : adjustments) {
+      std::fprintf(stderr, "qc::Options: %s adjusted %llu -> %llu (%s)\n", a.field,
+                   static_cast<unsigned long long>(a.from),
+                   static_cast<unsigned long long>(a.to), a.rule);
+    }
   }
 };
 

@@ -81,6 +81,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -93,6 +94,7 @@
 #include "core/options.hpp"
 #include "core/run_merge.hpp"
 #include "sequential/quantiles_sketch.hpp"
+#include "serde/binary.hpp"
 
 namespace qc::core {
 
@@ -127,8 +129,13 @@ class Quancurrent {
                 "hole-tolerant snapshots require trivially copyable items");
 
  public:
+  using value_type = T;
+
   explicit Quancurrent(Options opts) : opts_(opts) {
-    opts_.normalize();
+    // Surface silently-clamped configuration exactly once, at construction;
+    // Options::validate() offers the same list without side effects.
+    const auto adjustments = opts_.normalize();
+    if (opts_.collect_stats) Options::report(adjustments);
     cap_ = 2 * static_cast<std::uint64_t>(opts_.k);
     presort_ = opts_.presort_chunks && cap_ % opts_.b == 0;
     levels_.assign(static_cast<std::size_t>(kPreallocLevels) * 2 * opts_.k, T{});
@@ -271,6 +278,9 @@ class Quancurrent {
   // precondition — a queue that stays non-empty means an updater is still
   // live and quiesce() was entered too early.
   void quiesce() {
+    // The convenience updater belongs to the sketch, so quiesce() may (and
+    // must) drain it: its buffered items are otherwise unreachable here.
+    if (self_updater_ != nullptr) self_updater_->drain();
     drain_installs();
     assert(install_head_.load(std::memory_order_acquire) ==
                install_tail_.load(std::memory_order_acquire) &&
@@ -353,8 +363,42 @@ class Quancurrent {
     const std::uint64_t pos = acquire_cell();
     InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
     std::memcpy(cell.items.data(), sorted_batch.data(), cap_ * sizeof(T));
+    cell.level = 0;
     cell.seq.store(pos + 1, std::memory_order_release);
     return pos;
+  }
+
+  // Installs one sorted k-run directly at ladder level `level` (each item
+  // carrying weight 2^level) through the normal install queue: the run lands
+  // in a free slot — cascading a compaction upward if the level fills — and
+  // is published by the regular combining drain, so concurrent queriers stay
+  // wait-free exactly as for 2k batch installs.  This is the merge
+  // primitive: folding another sketch into this one is a sequence of
+  // install_run() calls plus a push_tail() of its weight-1 residue.
+  // Thread-safe against concurrent updaters, queriers, and other installs.
+  void install_run(std::uint32_t level, std::span<const T> run) {
+    assert(level >= 1 && level < kPreallocLevels);
+    assert(run.size() == opts_.k);
+    assert(std::is_sorted(run.begin(), run.end(), cmp_));
+    const std::uint64_t pos = acquire_cell();
+    InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
+    std::memcpy(cell.items.data(), run.data(), opts_.k * sizeof(T));
+    cell.level = level;
+    cell.seq.store(pos + 1, std::memory_order_release);
+    drain_until(pos);
+  }
+
+  // Appends weight-1 items to the tail, immediately visible to queries.
+  // Thread-safe; merge and ingestion-adjacent code paths use it for residue
+  // that does not fill a 2k batch.
+  void push_tail(const T* items, std::uint64_t count) {
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    // Capacity is pre-reserved at construction, so this insert (one
+    // geometric reallocation at most, by the range-insert guarantee) almost
+    // never allocates under tail_mu_.
+    tail_.insert(tail_.end(), items, items + count);
+    tail_size_.fetch_add(count, std::memory_order_acq_rel);
+    tail_version_.fetch_add(1, std::memory_order_release);
   }
 
   // Installs every batch currently parked in the install queue (in groups of
@@ -404,6 +448,12 @@ class Quancurrent {
 
     std::uint64_t size() const { return summary_.total_weight(); }
     std::uint64_t holes() const { return holes_; }
+
+    // Bumps every time a refresh actually rebuilds the summary; an O(1)
+    // refresh (nothing published, no tail churn) leaves it unchanged.
+    // Cross-sketch aggregators (ShardedQuancurrent::Querier) use it to skip
+    // re-merging shards whose summaries did not move.
+    std::uint64_t version() const { return version_; }
 
     // The frozen value-sorted summary the last refresh produced.
     const WeightedSummary<T>& summary() const { return summary_; }
@@ -579,6 +629,7 @@ class Quancurrent {
       } else {
         merger_.merge(span, summary_, s.cmp_);
       }
+      ++version_;
     }
 
     Quancurrent* sketch_;
@@ -592,10 +643,218 @@ class Quancurrent {
     std::uint64_t snap_seq_ = kNever;
     std::uint64_t snap_tail_ver_ = kNever;
     std::uint64_t holes_ = 0;
+    std::uint64_t version_ = 0;
     bool sort_baseline_ = false;
   };
 
   Querier make_querier() { return Querier(*this); }
+
+  // ----- unified public surface (the qc.hpp QuantileSketch concept) --------
+
+  // Convenience single-threaded ingestion: routes through one internally
+  // owned Updater.  NOT safe to call concurrently with itself or with the
+  // convenience queries below; updaters/queriers made for other threads
+  // remain fully concurrent alongside it.  Multi-threaded ingestion should
+  // create one UpdaterHandle (qc.hpp) per thread instead.
+  void update(const T& v) { self_updater().update(v); }
+  void update(std::span<const T> vs) { self_updater().update(vs); }
+
+  // Convenience queries: quiesce first (draining the convenience updater,
+  // gather buffers, and the install queue), then answer from an internally
+  // owned querier — so, like the sequential engine, a convenience query sees
+  // every preceding convenience update with no relaxation window.  Because
+  // they quiesce, these inherit quiesce()'s precondition: no concurrent
+  // UpdaterHandles may be live (concurrent QuerierHandles are fine, and
+  // remain the wait-free concurrent query surface).
+  T quantile(double phi) { return self_querier().quantile(phi); }
+  std::uint64_t rank(const T& v) { return self_querier().rank(v); }
+  double cdf(const T& v) { return self_querier().cdf(v); }
+
+  // ----- merge --------------------------------------------------------------
+
+  // Folds this sketch's query-visible state into `target`: every installed
+  // level run replays through target's install queue as an install_run()
+  // (one ordinary publish each — target's concurrent updaters keep ingesting
+  // and queriers on BOTH sketches stay wait-free, since the snapshot below
+  // never blocks the query path), and the weight-1 tail is appended to
+  // target's tail.  Requires equal k; returns false (and changes nothing) on
+  // a k mismatch or self-merge.  Elements still in this sketch's local or
+  // gather buffers are invisible to the merge, exactly as they are to
+  // queries (bounded relaxation) — quiesce() first for an exact fold.
+  bool merge_into(Quancurrent& target) const {
+    if (&target == this || target.opts_.k != opts_.k) return false;
+    // Snapshot the installed ladder under the install latch: holding it
+    // stops any publish (only the latch holder writes levels_), so the copy
+    // is torn-free without touching the query path.  All updater flushes
+    // funnel through this latch, so nothing may allocate while it is held
+    // (drain_group's contract): reserve from a pre-latch tritmap guess and
+    // retry in the unlikely event the ladder grew past it meanwhile.
+    std::vector<T> run_items;
+    std::vector<std::uint32_t> run_levels;
+    const auto count_runs = [](Tritmap tm) {
+      std::size_t runs = 0;
+      const std::uint32_t top = tm.num_levels();
+      for (std::uint32_t level = 1; level < top; ++level) runs += tm.trit(level);
+      return runs;
+    };
+    Backoff backoff;
+    for (;;) {
+      // +4: headroom for installs cascading new levels while unlatched.
+      const std::size_t reserved =
+          std::min<std::size_t>(count_runs(tritmap_.load(std::memory_order_acquire)) + 4,
+                                2 * kPreallocLevels);
+      run_items.reserve(reserved * opts_.k);
+      run_levels.reserve(reserved);
+      while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+      const Tritmap tm = tritmap_.load(std::memory_order_acquire);
+      if (count_runs(tm) > reserved) {
+        latch_.clear(std::memory_order_release);
+        continue;  // ladder outgrew the guess; re-reserve and retry
+      }
+      const std::uint32_t top = tm.num_levels();
+      for (std::uint32_t level = 1; level < top; ++level) {
+        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+          const T* src = slot_ptr(level, slot);
+          run_items.insert(run_items.end(), src, src + opts_.k);
+          run_levels.push_back(level);
+        }
+      }
+      latch_.clear(std::memory_order_release);
+      break;
+    }
+    std::vector<T> tail_copy;
+    {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      tail_copy = tail_;
+    }
+    for (std::size_t i = 0; i < run_levels.size(); ++i) {
+      target.install_run(run_levels[i],
+                         std::span<const T>(
+                             run_items.data() + i * static_cast<std::size_t>(opts_.k),
+                             opts_.k));
+    }
+    if (!tail_copy.empty()) target.push_tail(tail_copy.data(), tail_copy.size());
+    return true;
+  }
+
+  // ----- binary serde -------------------------------------------------------
+
+  // Bytes serialize() will emit for the current query-visible state.
+  std::size_t serialized_size() const {
+    serde::Writer counter;
+    write_payload(counter);
+    return counter.bytes();
+  }
+
+  // Writes the versioned binary image (see serde/binary.hpp) into `out`;
+  // returns the bytes written, or 0 when `out` is too small.  The image is
+  // the query-visible state — installed ladder plus tail — so, like a
+  // query, it excludes elements still in local/gather buffers; quiesce()
+  // first to capture everything.  Safe against concurrent queriers; under
+  // concurrent ingestion the image is a consistent point-in-time snapshot
+  // (taken under the install latch, off the query path).
+  std::size_t serialize(std::span<std::byte> out) const {
+    serde::Writer w(out);
+    write_payload(w);
+    return w.ok() ? w.bytes() : 0;
+  }
+
+  // Reconstructs a sketch from serialize()'s image; null on any malformed
+  // input, with the precise reason in *status when provided.  The result
+  // answers bit-identically to the source's query-visible summary and
+  // resumes the source's compaction coin sequence.
+  static std::unique_ptr<Quancurrent> deserialize(std::span<const std::byte> in,
+                                                  serde::Status* status = nullptr) {
+    serde::Reader r(in);
+    const serde::Status hs = serde::read_header(r, serde::Engine::concurrent,
+                                                static_cast<std::uint8_t>(sizeof(T)));
+    if (hs != serde::Status::ok) {
+      serde::set_status(status, hs);
+      return nullptr;
+    }
+    Options o;
+    std::uint8_t presort = 0;
+    std::uint8_t stats = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t tritmap_raw = 0;
+    if (!r.get(o.k) || !r.get(o.b) || !r.get(o.rho) || !r.get(presort) ||
+        !r.get(stats) || !r.get(o.install_combine) || !r.get(o.install_queue) ||
+        !r.get(o.seed) || !r.get(o.topology.nodes) ||
+        !r.get(o.topology.threads_per_node) || !r.get(rng_state) ||
+        !r.get(tritmap_raw)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return nullptr;
+    }
+    o.presort_chunks = presort != 0;
+    o.collect_stats = stats != 0;
+    if (o.k < 2 || o.rho == 0 || o.topology.nodes == 0 ||
+        !Options(o).validate().empty()) {
+      // The image echoes normalized Options; anything normalize() would
+      // still rewrite cannot have come from serialize().
+      serde::set_status(status, serde::Status::bad_payload);
+      return nullptr;
+    }
+    const Tritmap tm(tritmap_raw);
+    if (tm.trit(0) != 0) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return nullptr;
+    }
+    for (std::uint32_t level = 0; level < kPreallocLevels; ++level) {
+      // Every published tritmap has all trits <= 1: a cascade always
+      // compacts a filled (trit 2) level before publishing.  A crafted 2
+      // would make a later ingest cascade write past the two slots, so it is
+      // as malformed as the encoding-invalid 3.
+      if (tm.trit(level) > 1) {
+        serde::set_status(status, serde::Status::bad_payload);
+        return nullptr;
+      }
+    }
+    // Even capped options multiply into sizable preallocations; a blob
+    // demanding more memory than the process has must yield nullptr, not an
+    // escaping bad_alloc (the documented malformed-input contract).
+    std::unique_ptr<Quancurrent> sk;
+    try {
+      sk = std::make_unique<Quancurrent>(o);
+    } catch (const std::bad_alloc&) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return nullptr;
+    }
+    sk->rng_.set_state(rng_state);
+    const std::uint32_t top = tm.num_levels();
+    for (std::uint32_t level = 1; level < top; ++level) {
+      for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+        if (!r.get_bytes(sk->slot_ptr(level, slot), sk->opts_.k * sizeof(T))) {
+          serde::set_status(status, serde::Status::short_buffer);
+          return nullptr;
+        }
+      }
+      if (tm.trit(level) != 0) {
+        sk->level_epoch_[level].store(++sk->epoch_counter_,
+                                      std::memory_order_relaxed);
+      }
+    }
+    std::uint64_t tail_count = 0;
+    if (!r.get(tail_count)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return nullptr;
+    }
+    // Division, not multiplication: a crafted tail_count must not overflow
+    // the bounds check and reach the resize below.
+    if (tail_count > r.remaining() / sizeof(T)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return nullptr;
+    }
+    sk->tail_.resize(static_cast<std::size_t>(tail_count));
+    if (!r.get_bytes(sk->tail_.data(), sk->tail_.size() * sizeof(T))) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return nullptr;
+    }
+    sk->tail_size_.store(tail_count, std::memory_order_relaxed);
+    sk->tail_version_.store(1, std::memory_order_relaxed);
+    sk->tritmap_.store(tm, std::memory_order_release);
+    serde::set_status(status, serde::Status::ok);
+    return sk;
+  }
 
  private:
   friend class Updater;
@@ -627,7 +886,9 @@ class Quancurrent {
   // install_tail_; only the latch holder advances install_head_.
   struct InstallCell {
     alignas(64) std::atomic<std::uint64_t> seq{0};
-    std::vector<T> items;  // cap_ sorted items
+    std::vector<T> items;      // cap_ sorted items (first k when level > 0)
+    std::uint32_t level = 0;   // 0 = weight-1 2k batch; L > 0 = one k-run
+                               // entering the ladder at level L (merge path)
   };
 
   struct Node {
@@ -642,6 +903,58 @@ class Quancurrent {
   T* slot_ptr(std::uint32_t level, std::uint32_t slot) {
     assert(level < kPreallocLevels && slot < 2);
     return levels_.data() + (static_cast<std::size_t>(level) * 2 + slot) * opts_.k;
+  }
+
+  const T* slot_ptr(std::uint32_t level, std::uint32_t slot) const {
+    assert(level < kPreallocLevels && slot < 2);
+    return levels_.data() + (static_cast<std::size_t>(level) * 2 + slot) * opts_.k;
+  }
+
+  // Emits the serde image; shared by serialize() and serialized_size() (the
+  // latter passes a measuring writer), so the two can never disagree.
+  void write_payload(serde::Writer& w) const {
+    serde::write_header(w, serde::Engine::concurrent,
+                        static_cast<std::uint8_t>(sizeof(T)));
+    w.put(opts_.k);
+    w.put(opts_.b);
+    w.put(opts_.rho);
+    w.put(static_cast<std::uint8_t>(opts_.presort_chunks ? 1 : 0));
+    w.put(static_cast<std::uint8_t>(opts_.collect_stats ? 1 : 0));
+    w.put(opts_.install_combine);
+    w.put(opts_.install_queue);
+    w.put(opts_.seed);
+    w.put(opts_.topology.nodes);
+    w.put(opts_.topology.threads_per_node);
+    // Freeze publication while the ladder (and the parity rng installs
+    // mutate) is imaged: only the latch holder writes either, and queriers
+    // never take the latch, so the query path is unaffected.
+    Backoff backoff;
+    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    w.put(rng_.state());
+    const Tritmap tm = tritmap_.load(std::memory_order_acquire);
+    w.put(tm.raw());
+    const std::uint32_t top = tm.num_levels();
+    for (std::uint32_t level = 1; level < top; ++level) {
+      for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+        w.put_bytes(slot_ptr(level, slot), opts_.k * sizeof(T));
+      }
+    }
+    latch_.clear(std::memory_order_release);
+    std::lock_guard<std::mutex> lock(tail_mu_);
+    w.put(static_cast<std::uint64_t>(tail_.size()));
+    w.put_bytes(tail_.data(), tail_.size() * sizeof(T));
+  }
+
+  Updater& self_updater() {
+    if (self_updater_ == nullptr) self_updater_ = std::make_unique<Updater>(*this, 0);
+    return *self_updater_;
+  }
+
+  Querier& self_querier() {
+    quiesce();  // drains the convenience updater too
+    if (self_querier_ == nullptr) self_querier_ = std::make_unique<Querier>(*this);
+    self_querier_->refresh();
+    return *self_querier_;
   }
 
   // Moves a full local buffer into the node's gather buffer; the committer of
@@ -679,6 +992,7 @@ class Quancurrent {
       node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
       const std::uint64_t cell_pos = acquire_cell();
       InstallCell& cell = install_q_[cell_pos & (opts_.install_queue - 1)];
+      cell.level = 0;
       if (presort_) {
         gb.merger.merge(std::span<const T>(gb.slots.data(), cap_), opts_.b,
                         std::span<T>(cell.items.data(), cap_), cmp_);
@@ -690,16 +1004,6 @@ class Quancurrent {
       cell.seq.store(cell_pos + 1, std::memory_order_release);
       drain_until(cell_pos);
     }
-  }
-
-  void push_tail(const T* items, std::uint64_t count) {
-    std::lock_guard<std::mutex> lock(tail_mu_);
-    // Capacity is pre-reserved at construction, so this insert (one
-    // geometric reallocation at most, by the range-insert guarantee) almost
-    // never allocates under tail_mu_.
-    tail_.insert(tail_.end(), items, items + count);
-    tail_size_.fetch_add(count, std::memory_order_acq_rel);
-    tail_version_.fetch_add(1, std::memory_order_release);
   }
 
   // Claims the next install-queue ticket and waits (backpressure) until its
@@ -770,8 +1074,10 @@ class Quancurrent {
     while (head - start < opts_.install_combine) {
       InstallCell& cell = install_q_[head & (opts_.install_queue - 1)];
       if (cell.seq.load(std::memory_order_acquire) != head + 1) break;
+      const std::size_t cell_items = cell.level == 0 ? cap_ : opts_.k;
       tm = apply_cascade(tm, published,
-                         std::span<const T>(cell.items.data(), cap_), seq_odd, steps);
+                         std::span<const T>(cell.items.data(), cell_items),
+                         cell.level, seq_odd, steps);
       // The cascade fully consumed the cell's items; free it for the next
       // lap before publishing so producers stall as little as possible.
       cell.seq.store(head + opts_.install_queue, std::memory_order_release);
@@ -801,21 +1107,51 @@ class Quancurrent {
     }
   }
 
-  // Applies one sorted 2k batch's full propagation cascade against the
-  // group-private tritmap `tm`, writing level slots and epochs; returns the
-  // evolved tritmap.  `published` is the tritmap queriers can currently see:
-  // writing a slot below its trit requires the seqlock odd phase (entered
-  // lazily, at most once per group).  Caller must hold latch_.
-  Tritmap apply_cascade(Tritmap tm, Tritmap published, std::span<const T> batch,
-                        bool& seq_odd, std::uint64_t& steps) {
-    tm = tm.after_batch_update();
-    // Every batch cascade gets a fresh epoch so that two writes of the same
+  // Applies one install's full propagation cascade against the group-private
+  // tritmap `tm`, writing level slots and epochs; returns the evolved
+  // tritmap.  `entry_level` 0 is the ingest path: `items` is a sorted 2k
+  // weight-1 batch that lands as level 0's two arrays and compacts upward.
+  // `entry_level` L > 0 is the merge path: `items` is one sorted k-run that
+  // drops into a free slot at level L (weight 2^L), cascading onward only if
+  // that fills the level — so a merge replays another sketch's ladder
+  // through the very same publication machinery.  `published` is the tritmap
+  // queriers can currently see: writing a slot below its trit requires the
+  // seqlock odd phase (entered lazily, at most once per group).  Caller must
+  // hold latch_.
+  Tritmap apply_cascade(Tritmap tm, Tritmap published, std::span<const T> items,
+                        std::uint32_t entry_level, bool& seq_odd,
+                        std::uint64_t& steps) {
+    // Every cascade gets a fresh epoch so that two writes of the same
     // level within one group are distinguishable to querier run caches.
     const std::uint64_t epoch = ++epoch_counter_;
-    // Level 0's two arrays exist only inside `batch`; each cascade step
-    // compacts a sorted 2k source into the free slot one level up.
-    std::span<const T> source = batch;
-    std::uint32_t level = 0;
+    std::span<const T> source = items;
+    std::uint32_t level = entry_level;
+    if (entry_level == 0) {
+      // Level 0's two arrays exist only inside `items`; each cascade step
+      // compacts a sorted 2k source into the free slot one level up.
+      tm = tm.after_batch_update();
+    } else {
+      // A cascade always ends with no trit at 2, so the entry level has a
+      // free slot; write the k-run there and cascade only if it fills.
+      const std::uint32_t dest_slot = tm.trit(entry_level);
+      assert(dest_slot < 2);
+      if (!seq_odd && dest_slot < published.trit(entry_level)) {
+        install_seq_.fetch_add(1, std::memory_order_relaxed);
+        seq_odd = true;
+      }
+      T* dest = slot_ptr(entry_level, dest_slot);
+      for (std::uint32_t i = 0; i < opts_.k; ++i) {
+        std::atomic_ref<T>(dest[i]).store(items[i], std::memory_order_release);
+      }
+      level_epoch_[entry_level].store(epoch, std::memory_order_release);
+      tm = tm.with_trit(entry_level, dest_slot + 1);
+      if (tm.trit(level) == 2) {
+        std::merge(slot_ptr(level, 0), slot_ptr(level, 0) + opts_.k,
+                   slot_ptr(level, 1), slot_ptr(level, 1) + opts_.k,
+                   scratch_.begin(), cmp_);
+        source = std::span<const T>(scratch_.data(), cap_);
+      }
+    }
     while (tm.trit(level) == 2) {
       const std::uint32_t dest_level = level + 1;
       if (dest_level >= kPreallocLevels) {
@@ -886,7 +1222,9 @@ class Quancurrent {
   alignas(64) std::atomic<std::uint64_t> install_head_{0};
 
   // Install/drain path (one latch holder at a time), serialized by `latch_`.
-  std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
+  // Mutable: const observers (serialize, merge_into's source snapshot) also
+  // freeze publication with it.
+  mutable std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
   std::vector<T> scratch_;
   Xoshiro256 rng_{0};
   std::uint64_t epoch_counter_ = 0;  // per-batch-cascade; latch-protected
@@ -913,6 +1251,13 @@ class Quancurrent {
   mutable std::atomic<std::uint64_t> stat_installs_{0};
   mutable std::atomic<std::uint64_t> stat_combined_installs_{0};
   mutable std::atomic<std::uint64_t> stat_max_combine_{0};
+
+  // Lazily created handles behind the convenience update()/quantile()
+  // surface (single-threaded contract).  Declared last so they are destroyed
+  // first: the updater's destructor drains into the tail, which must still
+  // be alive.
+  std::unique_ptr<Updater> self_updater_;
+  std::unique_ptr<Querier> self_querier_;
 };
 
 }  // namespace qc::core

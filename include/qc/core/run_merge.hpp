@@ -140,6 +140,46 @@ class RunMerger {
         });
   }
 
+  // Merges S value-sorted weighted summaries (e.g. one per shard of a
+  // ShardedQuancurrent) into one combined summary, preserving each item's
+  // individual weight.  Ties break toward the lower part index, so the
+  // cross-shard summary is deterministic for a fixed shard order.
+  void merge_weighted(std::span<const WeightedSummary<T>* const> parts,
+                      WeightedSummary<T>& out, Compare cmp = Compare()) {
+    out.clear();
+    std::size_t total = 0;
+    wrefs_.clear();
+    for (const WeightedSummary<T>* p : parts) {
+      wrefs_.push_back({p->items().data(), p->size(), 1});
+      total += p->size();
+    }
+    out.reserve(total);
+    if (total == 0) return;
+    if (parts.size() == 1) {
+      const auto items = parts[0]->items();
+      const auto prefix = parts[0]->prefix_weights();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        out.append(items[i], prefix[i] - (i == 0 ? 0 : prefix[i - 1]));
+      }
+      return;
+    }
+    runs_ = wrefs_;
+    cmp_ = cmp;
+    run_tree(
+        [this](std::size_t i, std::size_t j) {
+          const T& a = runs_[i].data[pos_[i]];
+          const T& b = runs_[j].data[pos_[j]];
+          if (cmp_(a, b)) return true;
+          if (cmp_(b, a)) return false;
+          return i < j;
+        },
+        [this, parts, &out](std::size_t w) {
+          const auto prefix = parts[w]->prefix_weights();
+          const std::size_t i = pos_[w];
+          out.append(runs_[w].data[i], prefix[i] - (i == 0 ? 0 : prefix[i - 1]));
+        });
+  }
+
   // Merges `runs` into the raw item array `out` (weights ignored), which must
   // hold at least the runs' total size.  Returns the number of items written.
   std::size_t merge_items(std::span<const RunRef<T>> runs, std::span<T> out,
@@ -218,6 +258,7 @@ class RunMerger {
   }
 
   std::span<const RunRef<T>> runs_;
+  std::vector<RunRef<T>> wrefs_;  // merge_weighted's synthesized run views
   Compare cmp_{};
   std::vector<std::size_t> pos_;
   std::vector<std::size_t> tree_;

@@ -1,0 +1,238 @@
+// ShardedQuancurrent: a serving facade over S independent Quancurrent
+// shards.
+//
+// A single Quancurrent scales until its shared structures saturate — the
+// gather buffers' F&A hot words and the install latch become the knee of the
+// update-scaling curve (fig06a's gather_waits / latch_spins counters say
+// when).  Past that knee the production answer is not a cleverer lock but
+// MORE SKETCHES: quantile summaries are mergeable (the property KLL-style
+// sketches are deployed for), so a stream can be split across S completely
+// independent sketches and recombined at query time with no loss beyond the
+// per-sketch error bound.
+//
+// Routing.  Two complementary policies:
+//   * thread affinity (make_updater): each updater thread is pinned to shard
+//     thread_index % S, so a thread's flushes always hit the same gather
+//     buffers — zero cross-shard traffic on the hot path.  Quantile accuracy
+//     does not depend on which elements land in which shard, so any
+//     assignment is statistically fine.
+//   * value hash (make_hash_updater): each element is routed by a mixed
+//     std::hash of its value, giving every shard a statistically identical
+//     substream even when per-thread streams are skewed (useful when shard
+//     summaries are also consumed individually, e.g. shipped to different
+//     aggregators).
+//
+// Queries.  Querier holds one wait-free per-shard querier plus a cross-shard
+// RunMerger pass: refresh() refreshes each shard (O(1) when that shard has
+// not published) and re-merges the per-shard weighted summaries only when at
+// least one of them actually rebuilt — queries take no lock anywhere, and
+// answers come from the same O(log R) binary searches as a single sketch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/quancurrent.hpp"
+#include "core/run_merge.hpp"
+
+namespace qc::core {
+
+template <typename T, typename Compare = std::less<T>>
+class ShardedQuancurrent {
+ public:
+  using value_type = T;
+  using Shard = Quancurrent<T, Compare>;
+
+  // `opts` applies to every shard (normalized once here, so per-shard
+  // construction stays silent); relaxation and memory scale with S.
+  ShardedQuancurrent(std::uint32_t shards, Options opts) {
+    if (shards == 0) shards = 1;
+    const auto adjustments = opts.normalize();
+    if (opts.collect_stats) Options::report(adjustments);
+    shards_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(opts));
+    }
+  }
+
+  std::uint32_t num_shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  Shard& shard(std::uint32_t s) { return *shards_[s]; }
+  const Shard& shard(std::uint32_t s) const { return *shards_[s]; }
+  const Options& options() const { return shards_[0]->options(); }
+
+  // ----- ingestion ---------------------------------------------------------
+
+  // Thread-affinity-routed ingestion handle: a thin wrapper over the home
+  // shard's updater.  Not thread-safe; create one per thread (thread_index
+  // selects the home shard and the NUMA node within it).  Destruction drains
+  // the remainder into the home shard's tail.
+  class Updater {
+   public:
+    Updater(ShardedQuancurrent& sketch, std::uint32_t thread_index)
+        : inner_(sketch.shards_[thread_index % sketch.num_shards()]->make_updater(
+              thread_index / sketch.num_shards())) {}
+
+    void update(const T& v) { inner_.update(v); }
+    void update(std::span<const T> vs) { inner_.update(vs); }
+    void drain() { inner_.drain(); }
+
+   private:
+    typename Shard::Updater inner_;
+  };
+
+  Updater make_updater(std::uint32_t thread_index) { return Updater(*this, thread_index); }
+
+  // Value-hash-routed ingestion handle: holds one updater per shard and
+  // routes each element by a mixed std::hash of its value, so every shard
+  // receives a statistically identical substream regardless of input order
+  // or per-thread skew.  Not thread-safe; create one per thread.
+  class HashUpdater {
+   public:
+    HashUpdater(ShardedQuancurrent& sketch, std::uint32_t thread_index) {
+      inners_.reserve(sketch.num_shards());
+      for (std::uint32_t s = 0; s < sketch.num_shards(); ++s) {
+        inners_.push_back(sketch.shards_[s]->make_updater(thread_index));
+      }
+    }
+
+    void update(const T& v) {
+      inners_[static_cast<std::size_t>(mix(std::hash<T>{}(v)) % inners_.size())]
+          .update(v);
+    }
+
+    void drain() {
+      for (auto& u : inners_) u.drain();
+    }
+
+   private:
+    // splitmix64 finalizer: std::hash of integral types is often the
+    // identity, which would route monotone streams to one shard.
+    static std::uint64_t mix(std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    }
+
+    std::vector<typename Shard::Updater> inners_;
+  };
+
+  HashUpdater make_hash_updater(std::uint32_t thread_index = 0) {
+    return HashUpdater(*this, thread_index);
+  }
+
+  // Drains every shard.  Same precondition as Quancurrent::quiesce(): no
+  // concurrent updaters (queriers are fine).
+  void quiesce() {
+    for (auto& s : shards_) s->quiesce();
+  }
+
+  // ----- queries -----------------------------------------------------------
+
+  // Cross-shard point-in-time view: one wait-free querier per shard plus a
+  // merged summary.  refresh() is incremental twice over — each shard
+  // querier reuses its cached runs, and the cross-shard merge is skipped
+  // entirely unless some shard actually rebuilt.  No lock anywhere on this
+  // path.
+  class Querier {
+   public:
+    explicit Querier(ShardedQuancurrent& sketch) {
+      inners_.reserve(sketch.num_shards());
+      for (std::uint32_t s = 0; s < sketch.num_shards(); ++s) {
+        inners_.push_back(sketch.shards_[s]->make_querier());
+      }
+      versions_.assign(inners_.size(), ~std::uint64_t{0});
+      refresh();
+    }
+
+    void refresh() {
+      bool changed = false;
+      for (std::size_t s = 0; s < inners_.size(); ++s) {
+        inners_[s].refresh();
+        if (versions_[s] != inners_[s].version()) {
+          versions_[s] = inners_[s].version();
+          changed = true;
+        }
+      }
+      if (!changed) return;
+      parts_.clear();
+      for (const auto& q : inners_) parts_.push_back(&q.summary());
+      merger_.merge_weighted(
+          std::span<const WeightedSummary<T>* const>(parts_), summary_, cmp_);
+    }
+
+    std::uint64_t size() const { return summary_.total_weight(); }
+
+    std::uint64_t holes() const {
+      std::uint64_t h = 0;
+      for (const auto& q : inners_) h += q.holes();
+      return h;
+    }
+
+    const WeightedSummary<T>& summary() const { return summary_; }
+
+    T quantile(double phi) const { return summary_quantile(summary_, phi); }
+
+    std::uint64_t rank(const T& v) const { return summary_rank(summary_, v, cmp_); }
+
+    double cdf(const T& v) const {
+      const std::uint64_t total = summary_.total_weight();
+      return total == 0 ? 0.0
+                        : static_cast<double>(rank(v)) / static_cast<double>(total);
+    }
+
+   private:
+    std::vector<typename Shard::Querier> inners_;
+    std::vector<std::uint64_t> versions_;
+    std::vector<const WeightedSummary<T>*> parts_;
+    RunMerger<T, Compare> merger_;
+    WeightedSummary<T> summary_;
+    Compare cmp_{};
+  };
+
+  Querier make_querier() { return Querier(*this); }
+
+  // ----- introspection -----------------------------------------------------
+
+  std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->size();
+    return total;
+  }
+
+  std::uint64_t retained() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->retained();
+    return total;
+  }
+
+  // Field-wise sum over shards (max for max_combine).
+  Stats stats() const {
+    Stats total;
+    for (const auto& s : shards_) {
+      const Stats st = s->stats();
+      total.batches += st.batches;
+      total.propagations += st.propagations;
+      total.holes += st.holes;
+      total.query_retries += st.query_retries;
+      total.gather_waits += st.gather_waits;
+      total.latch_spins += st.latch_spins;
+      total.installs += st.installs;
+      total.combined_installs += st.combined_installs;
+      total.max_combine = std::max(total.max_combine, st.max_combine);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qc::core

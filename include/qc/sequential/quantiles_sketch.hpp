@@ -27,17 +27,22 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/options.hpp"
 #include "core/run_merge.hpp"
+#include "serde/binary.hpp"
 
-namespace qc::sketch {
+namespace qc::sequential {
 
 // Merges two sorted runs into one sorted vector.
 template <typename T, typename Compare = std::less<T>>
@@ -63,10 +68,18 @@ std::vector<T> sample_odd_or_even(std::span<const T> sorted, bool keep_odd) {
 
 template <typename T, typename Compare = std::less<T>>
 class QuantilesSketch {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "binary serde ships items as raw bytes");
+
  public:
+  using value_type = T;
+
   explicit QuantilesSketch(std::uint32_t k, std::uint64_t seed = 0x5eed5eed5eed5eedULL,
                            std::uint32_t presort_chunk = 256)
-      : k_(k == 0 ? 1 : k), rng_(seed), cmp_() {
+      // Same k ceiling as the concurrent engine (core::Options::kMaxK), so
+      // serialized images of either engine never carry a k that deserialize
+      // must reject.
+      : k_(std::min(k == 0 ? 1 : k, core::Options::kMaxK)), rng_(seed), cmp_() {
     base_.reserve(2 * static_cast<std::size_t>(k_));
     chunk_ = std::min<std::size_t>(presort_chunk, 2 * static_cast<std::size_t>(k_));
     if (chunk_ == 2 * static_cast<std::size_t>(k_)) chunk_ = 0;  // one chunk = full sort
@@ -120,7 +133,155 @@ class QuantilesSketch {
     return summary_;
   }
 
+  // ----- merge --------------------------------------------------------------
+
+  // Folds this sketch's contents into `target`: every occupied level becomes
+  // a weight-preserving carry propagated up target's ladder (merging and
+  // re-compacting where occupied, exactly as if the runs had been produced
+  // there), and the base buffer replays as weight-1 updates.  Requires equal
+  // k (level arrays are k-sized); returns false (and changes nothing) on a
+  // k mismatch or self-merge.  The error bound composes: merging sketches
+  // built from streams A and B yields a sketch whose rank error on A ∪ B is
+  // within the same O(1/k) envelope as a single sketch fed both streams.
+  bool merge_into(QuantilesSketch& target) const {
+    if (target.k_ != k_ || &target == this) return false;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (levels_[i].empty()) continue;
+      target.propagate(levels_[i], static_cast<std::uint32_t>(i + 1));
+      target.n_ += static_cast<std::uint64_t>(k_) << (i + 1);
+    }
+    for (const T& v : base_) target.update(v);
+    target.dirty_ = true;
+    return true;
+  }
+
+  // ----- binary serde -------------------------------------------------------
+
+  // Bytes serialize() will emit for the current state.
+  std::size_t serialized_size() const {
+    serde::Writer counter;
+    write_payload(counter);
+    return counter.bytes();
+  }
+
+  // Writes the versioned binary image (see serde/binary.hpp) into `out`;
+  // returns the bytes written, or 0 when `out` is too small.  The image
+  // captures the full query-visible state plus the compaction rng, so a
+  // deserialized sketch answers bit-identically AND continues ingesting with
+  // the same coin sequence the source would have used.
+  std::size_t serialize(std::span<std::byte> out) const {
+    serde::Writer w(out);
+    write_payload(w);
+    return w.ok() ? w.bytes() : 0;
+  }
+
+  // Reconstructs a sketch from serialize()'s image; empty optional on any
+  // malformed input, with the precise reason in *status when provided.
+  static std::optional<QuantilesSketch> deserialize(std::span<const std::byte> in,
+                                                    serde::Status* status = nullptr) {
+    serde::Reader r(in);
+    const serde::Status hs = serde::read_header(r, serde::Engine::sequential,
+                                                static_cast<std::uint8_t>(sizeof(T)));
+    if (hs != serde::Status::ok) {
+      serde::set_status(status, hs);
+      return std::nullopt;
+    }
+    std::uint32_t k = 0;
+    std::uint64_t chunk = 0;
+    std::uint64_t n = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    if (!r.get(k) || !r.get(chunk) || !r.get(n) || !r.get(rng_state)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return std::nullopt;
+    }
+    // The constructor clamps k to core::Options::kMaxK, so no genuine image
+    // carries a larger value — and rejecting it here keeps a crafted blob
+    // from demanding a k-proportional allocation.
+    if (k == 0 || k > core::Options::kMaxK ||
+        chunk > 2 * static_cast<std::uint64_t>(k)) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return std::nullopt;
+    }
+    QuantilesSketch sk(k);
+    sk.chunk_ = static_cast<std::size_t>(chunk);
+    sk.n_ = n;
+    sk.rng_.set_state(rng_state);
+    std::uint64_t base_count = 0;
+    if (!r.get(base_count)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return std::nullopt;
+    }
+    if (base_count > 2 * static_cast<std::uint64_t>(k)) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return std::nullopt;
+    }
+    // Bound the allocation by the bytes actually present (division so a
+    // crafted count cannot overflow the check) BEFORE resizing.
+    if (base_count > r.remaining() / sizeof(T)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return std::nullopt;
+    }
+    sk.base_.resize(static_cast<std::size_t>(base_count));
+    if (!r.get_bytes(sk.base_.data(), sk.base_.size() * sizeof(T))) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return std::nullopt;
+    }
+    std::uint32_t num_levels = 0;
+    if (!r.get(num_levels)) {
+      serde::set_status(status, serde::Status::short_buffer);
+      return std::nullopt;
+    }
+    if (num_levels > 64) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return std::nullopt;
+    }
+    sk.levels_.resize(num_levels);
+    for (auto& level : sk.levels_) {
+      std::uint8_t occupied = 0;
+      if (!r.get(occupied)) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return std::nullopt;
+      }
+      if (occupied > 1) {
+        serde::set_status(status, serde::Status::bad_payload);
+        return std::nullopt;
+      }
+      if (occupied == 0) continue;
+      if (k > r.remaining() / sizeof(T)) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return std::nullopt;
+      }
+      level.resize(k);
+      if (!r.get_bytes(level.data(), level.size() * sizeof(T))) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return std::nullopt;
+      }
+    }
+    sk.dirty_ = true;
+    serde::set_status(status, serde::Status::ok);
+    return sk;
+  }
+
  private:
+  void write_payload(serde::Writer& w) const {
+    serde::write_header(w, serde::Engine::sequential,
+                        static_cast<std::uint8_t>(sizeof(T)));
+    w.put(k_);
+    w.put(static_cast<std::uint64_t>(chunk_));
+    w.put(n_);
+    w.put(rng_.state());
+    w.put(static_cast<std::uint64_t>(base_.size()));
+    // The base buffer ships in ingestion order so its sorted-chunk invariant
+    // (every completed chunk_ block is sorted in place) survives the round
+    // trip and future updates resume mid-chunk correctly.
+    w.put_bytes(base_.data(), base_.size() * sizeof(T));
+    w.put(static_cast<std::uint32_t>(levels_.size()));
+    for (const auto& level : levels_) {
+      w.put(static_cast<std::uint8_t>(level.empty() ? 0 : 1));
+      w.put_bytes(level.data(), level.size() * sizeof(T));
+    }
+  }
+
   void compact_base() {
     sorted_base_into(compact_scratch_);
     std::vector<T> carry =
@@ -203,4 +364,9 @@ class QuantilesSketch {
   mutable bool dirty_ = true;
 };
 
-}  // namespace qc::sketch
+}  // namespace qc::sequential
+
+namespace qc {
+// Former name of the namespace; existing code and tests keep compiling.
+namespace sketch = sequential;
+}  // namespace qc

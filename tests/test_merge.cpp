@@ -1,0 +1,223 @@
+// merge_into: weight conservation, merge-vs-single-stream error bounds,
+// order independence (associativity within the rank-error envelope), the
+// leveled install path it rides on, and wait-freedom of concurrent queriers
+// while a merge is in flight.
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "qc.hpp"
+#include "qc_test.hpp"
+#include "stream/exact_quantiles.hpp"
+#include "stream/generators.hpp"
+
+using qc::stream::Distribution;
+
+namespace {
+
+qc::Options small_options(std::uint32_t k, std::uint32_t b) {
+  qc::Options o;
+  o.k = k;
+  o.b = b;
+  o.collect_stats = true;
+  o.topology = qc::numa::Topology::virtual_nodes(2, 2);
+  return o;
+}
+
+// Max rank error of `answer(phi)` against the exact oracle over a phi grid.
+template <typename AnswerFn>
+double max_rank_error(const qc::stream::ExactQuantiles<double>& exact, AnswerFn&& answer) {
+  double max_err = 0.0;
+  for (int i = 1; i < 50; ++i) {
+    const double phi = static_cast<double>(i) / 50.0;
+    max_err = std::max(max_err, exact.rank_error(answer(phi), phi));
+  }
+  return max_err;
+}
+
+}  // namespace
+
+QC_TEST(sequential_merge_conserves_weight_and_accuracy) {
+  const std::uint32_t k = 256;
+  const std::uint64_t n = 100'000;
+  auto a_data = qc::stream::make_stream(Distribution::kUniform, n, 11);
+  auto b_data = qc::stream::make_stream(Distribution::kNormal, n, 12);
+
+  qc::QuantilesSketch<double> a(k), b(k);
+  for (double v : a_data) a.update(v);
+  for (double v : b_data) b.update(v);
+
+  qc::QuantilesSketch<double> merged(k);
+  CHECK(a.merge_into(merged));
+  CHECK(b.merge_into(merged));
+  CHECK_EQ(merged.size(), 2 * n);
+
+  std::vector<double> all = a_data;
+  all.insert(all.end(), b_data.begin(), b_data.end());
+  qc::stream::ExactQuantiles<double> exact(std::move(all));
+  // Merged error stays within the same envelope a single sketch fed both
+  // streams satisfies (12/k: the single-stream test bound with headroom).
+  const double err =
+      max_rank_error(exact, [&](double phi) { return merged.quantile(phi); });
+  CHECK(err <= 12.0 / static_cast<double>(k));
+}
+
+QC_TEST(sequential_merge_rejects_mismatched_k_and_self) {
+  qc::QuantilesSketch<double> a(128), b(64);
+  a.update(1.0);
+  CHECK(!a.merge_into(b));
+  CHECK(!a.merge_into(a));
+  CHECK_EQ(b.size(), 0u);
+}
+
+QC_TEST(sequential_merge_is_order_independent_within_bound) {
+  const std::uint32_t k = 256;
+  const std::uint64_t n = 60'000;
+  std::vector<std::vector<double>> streams;
+  std::vector<double> all;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(qc::stream::make_stream(
+        s % 2 == 0 ? Distribution::kUniform : Distribution::kNormal, n, 20 + s));
+    all.insert(all.end(), streams.back().begin(), streams.back().end());
+  }
+  qc::stream::ExactQuantiles<double> exact(std::move(all));
+
+  // (A into (B into C-target)) vs (C into (B into A-target)): different
+  // fold orders agree with the oracle — and hence with each other — within
+  // the rank-error envelope.
+  const auto fold = [&](std::initializer_list<int> order) {
+    qc::QuantilesSketch<double> target(k);
+    for (int idx : order) {
+      qc::QuantilesSketch<double> part(k, /*seed=*/900 + idx);
+      for (double v : streams[static_cast<std::size_t>(idx)]) part.update(v);
+      CHECK(part.merge_into(target));
+    }
+    return max_rank_error(exact, [&](double phi) { return target.quantile(phi); });
+  };
+  CHECK(fold({0, 1, 2}) <= 12.0 / static_cast<double>(k));
+  CHECK(fold({2, 1, 0}) <= 12.0 / static_cast<double>(k));
+  CHECK(fold({1, 2, 0}) <= 12.0 / static_cast<double>(k));
+}
+
+QC_TEST(concurrent_merge_conserves_weight_and_accuracy) {
+  const std::uint32_t k = 256;
+  const std::uint64_t n = 100'000;
+  auto a_data = qc::stream::make_stream(Distribution::kUniform, n, 31);
+  auto b_data = qc::stream::make_stream(Distribution::kNormal, n, 32);
+
+  qc::Quancurrent<double> a(small_options(k, 8));
+  qc::Quancurrent<double> b(small_options(k, 8));
+  qc::bench::ingest_quancurrent(a, a_data, 2, /*quiesce=*/true);
+  qc::bench::ingest_quancurrent(b, b_data, 2, /*quiesce=*/true);
+  CHECK_EQ(a.size(), n);
+  CHECK_EQ(b.size(), n);
+
+  // Fold b into a: a now answers for the union.
+  CHECK(b.merge_into(a));
+  CHECK_EQ(a.size(), 2 * n);
+  CHECK_EQ(b.size(), n);  // source unchanged
+
+  auto q = a.make_querier();
+  CHECK_EQ(q.size(), 2 * n);
+  std::vector<double> all = a_data;
+  all.insert(all.end(), b_data.begin(), b_data.end());
+  qc::stream::ExactQuantiles<double> exact(std::move(all));
+  const double err = max_rank_error(exact, [&](double phi) { return q.quantile(phi); });
+  CHECK(err <= 12.0 / static_cast<double>(k));
+}
+
+QC_TEST(concurrent_merge_rejects_mismatched_k_and_self) {
+  qc::Quancurrent<double> a(small_options(128, 8));
+  qc::Quancurrent<double> b(small_options(64, 8));
+  a.update(1.0);
+  CHECK(!a.merge_into(b));
+  CHECK(!a.merge_into(a));
+  CHECK_EQ(b.size(), 0u);
+}
+
+QC_TEST(concurrent_merge_is_order_independent_within_bound) {
+  const std::uint32_t k = 256;
+  const std::uint64_t n = 50'000;
+  std::vector<std::vector<double>> streams;
+  std::vector<double> all;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    streams.push_back(qc::stream::make_stream(Distribution::kUniform, n, 40 + s));
+    all.insert(all.end(), streams.back().begin(), streams.back().end());
+  }
+  qc::stream::ExactQuantiles<double> exact(std::move(all));
+
+  const auto fold = [&](std::initializer_list<int> order) {
+    qc::Quancurrent<double> target(small_options(k, 8));
+    for (int idx : order) {
+      qc::Quancurrent<double> part(small_options(k, 8));
+      qc::bench::ingest_quancurrent(part, streams[static_cast<std::size_t>(idx)], 2,
+                                    /*quiesce=*/true);
+      CHECK(part.merge_into(target));
+    }
+    CHECK_EQ(target.size(), 3 * n);
+    auto q = target.make_querier();
+    return max_rank_error(exact, [&](double phi) { return q.quantile(phi); });
+  };
+  CHECK(fold({0, 1, 2}) <= 12.0 / static_cast<double>(k));
+  CHECK(fold({2, 0, 1}) <= 12.0 / static_cast<double>(k));
+}
+
+QC_TEST(install_run_lands_at_requested_level) {
+  const std::uint32_t k = 64;
+  qc::Quancurrent<double> sk(small_options(k, 8));
+  std::vector<double> run(k);
+  for (std::uint32_t i = 0; i < k; ++i) run[i] = static_cast<double>(i);
+
+  sk.install_run(3, run);  // k items of weight 8
+  CHECK_EQ(sk.size(), static_cast<std::uint64_t>(k) << 3);
+  CHECK_EQ(sk.tritmap().trit(3), 1u);
+
+  sk.install_run(3, run);  // fills level 3 -> compacts into level 4
+  CHECK_EQ(sk.size(), static_cast<std::uint64_t>(k) << 4);
+  CHECK_EQ(sk.tritmap().trit(3), 0u);
+  CHECK_EQ(sk.tritmap().trit(4), 1u);
+
+  auto q = sk.make_querier();
+  CHECK_EQ(q.size(), sk.size());
+  CHECK_NEAR(q.quantile(1.0), static_cast<double>(k - 1), 1e-12);
+}
+
+QC_TEST(queriers_stay_live_during_concurrent_merge) {
+  const std::uint32_t k = 128;
+  const std::uint64_t n = 50'000;
+  auto data = qc::stream::make_stream(Distribution::kUniform, n, 55);
+  qc::Quancurrent<double> target(small_options(k, 8));
+  std::vector<qc::Quancurrent<double>*> sources;
+  std::vector<std::unique_ptr<qc::Quancurrent<double>>> owned;
+  for (int s = 0; s < 4; ++s) {
+    owned.push_back(std::make_unique<qc::Quancurrent<double>>(small_options(k, 8)));
+    qc::bench::ingest_quancurrent(*owned.back(), data, 2, /*quiesce=*/true);
+    sources.push_back(owned.back().get());
+  }
+
+  // Queriers refresh continuously while merges replay ladders into target;
+  // every observed size must be a consistent point-in-time weight (never
+  // past the final total; a rare hole-accepted snapshot may undercount but
+  // never overcount).
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::thread reader([&] {
+    auto q = target.make_querier();
+    while (!done.load(std::memory_order_acquire)) {
+      q.refresh();
+      if (q.size() > 4 * n) violations.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (auto* src : sources) CHECK(src->merge_into(target));
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  CHECK_EQ(violations.load(), 0u);
+  CHECK_EQ(target.size(), 4 * n);
+  auto q = target.make_querier();
+  CHECK_EQ(q.size(), 4 * n);
+}
+
+QC_TEST_MAIN()

@@ -1,0 +1,160 @@
+// Options::validate() / normalize(): every clamp rule reports the rewrite it
+// makes, validate() is side-effect free, and normalized options are a fixed
+// point (no adjustments on re-normalize).
+#include <string>
+
+#include "core/options.hpp"
+#include "qc_test.hpp"
+
+namespace {
+
+// True when `log` contains an adjustment of `field` landing on `to`.
+bool adjusted_to(const std::vector<qc::core::Options::Adjustment>& log,
+                 const std::string& field, std::uint64_t to) {
+  for (const auto& a : log) {
+    if (field == a.field && a.to == to) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QC_TEST(defaults_are_already_normalized) {
+  qc::core::Options o;
+  // install_queue = 0 is the documented auto request, sized silently — the
+  // defaults produce no adjustment reports at all.
+  CHECK(o.validate().empty());
+  o.normalize();
+  CHECK_EQ(o.install_queue, 8u);  // auto-sizing still happened
+  CHECK(o.validate().empty());
+  CHECK(o.normalize().empty());
+}
+
+QC_TEST(validate_is_side_effect_free) {
+  qc::core::Options o;
+  o.k = 0;
+  o.b = 33;
+  o.rho = 0;
+  const auto log = o.validate();
+  CHECK(!log.empty());
+  CHECK_EQ(o.k, 0u);  // untouched
+  CHECK_EQ(o.b, 33u);
+  CHECK_EQ(o.rho, 0u);
+}
+
+QC_TEST(k_clamps_up_to_two) {
+  for (std::uint32_t k : {0u, 1u}) {
+    qc::core::Options o;
+    o.k = k;
+    const auto log = o.normalize();
+    CHECK_EQ(o.k, 2u);
+    CHECK(adjusted_to(log, "k", 2));
+  }
+}
+
+QC_TEST(k_clamps_down_to_max) {
+  // 2k of an unclamped 2^31 would overflow the 32-bit batch arithmetic
+  // (historically a SIGFPE in the b-divisor loop via untrusted serde input).
+  qc::core::Options o;
+  o.k = 0x80000000u;
+  const auto log = o.normalize();
+  CHECK_EQ(o.k, qc::core::Options::kMaxK);
+  CHECK(adjusted_to(log, "k", qc::core::Options::kMaxK));
+  CHECK(o.validate().empty());
+}
+
+QC_TEST(rho_clamps_up_to_one) {
+  qc::core::Options o;
+  o.rho = 0;
+  const auto log = o.normalize();
+  CHECK_EQ(o.rho, 1u);
+  CHECK(adjusted_to(log, "rho", 1));
+}
+
+QC_TEST(b_zero_clamps_to_one) {
+  qc::core::Options o;
+  o.b = 0;
+  const auto log = o.normalize();
+  CHECK_EQ(o.b, 1u);
+  CHECK(adjusted_to(log, "b", 1));
+}
+
+QC_TEST(b_clamps_down_to_batch_size) {
+  qc::core::Options o;
+  o.k = 8;    // 2k = 16
+  o.b = 999;  // > 2k
+  const auto log = o.normalize();
+  CHECK_EQ(o.b, 16u);
+  CHECK(adjusted_to(log, "b", 16));
+}
+
+QC_TEST(b_clamps_down_to_nearest_divisor) {
+  qc::core::Options o;
+  o.k = 100;  // 2k = 200
+  o.b = 33;   // largest divisor of 200 that is <= 33 is 25
+  const auto log = o.normalize();
+  CHECK_EQ(o.b, 25u);
+  CHECK(adjusted_to(log, "b", 25));
+  CHECK_EQ((2 * o.k) % o.b, 0u);
+}
+
+QC_TEST(size_driving_fields_clamp_to_caps) {
+  // install_queue > 2^31 used to overflow the power-of-two doubling loop
+  // into an infinite spin; rho/nodes had no cap at all.  All three now clamp
+  // (and report), which is also what lets deserialize reject crafted blobs.
+  qc::core::Options o;
+  o.install_queue = 3'000'000'000u;
+  o.rho = 0xFFFFFFFFu;
+  o.topology.nodes = 4'000'000'000u;
+  const auto log = o.normalize();
+  CHECK_EQ(o.install_queue, qc::core::Options::kMaxInstallQueue);
+  CHECK_EQ(o.rho, qc::core::Options::kMaxRho);
+  CHECK_EQ(o.topology.nodes, qc::core::Options::kMaxNodes);
+  CHECK(adjusted_to(log, "install_queue", qc::core::Options::kMaxInstallQueue));
+  CHECK(adjusted_to(log, "rho", qc::core::Options::kMaxRho));
+  CHECK(adjusted_to(log, "topology.nodes", qc::core::Options::kMaxNodes));
+  CHECK(o.validate().empty());
+}
+
+QC_TEST(install_combine_clamps_into_range) {
+  qc::core::Options lo;
+  lo.install_combine = 0;
+  CHECK(adjusted_to(lo.normalize(), "install_combine", 1));
+  CHECK_EQ(lo.install_combine, 1u);
+
+  qc::core::Options hi;
+  hi.install_combine = 100'000;
+  const auto log = hi.normalize();
+  CHECK(adjusted_to(log, "install_combine", 256));
+  CHECK_EQ(hi.install_combine, 256u);
+}
+
+QC_TEST(install_queue_auto_sizes_and_rounds_up) {
+  // Auto (0): smallest power of two >= max(8, 2 * install_combine), sized
+  // silently (an auto request is not a misconfiguration to report).
+  qc::core::Options a;
+  a.install_combine = 16;
+  a.install_queue = 0;
+  CHECK(a.normalize().empty());
+  CHECK_EQ(a.install_queue, 32u);
+
+  // Explicit but not a power of two: rounded up.
+  qc::core::Options b;
+  b.install_queue = 9;
+  CHECK(adjusted_to(b.normalize(), "install_queue", 16));
+
+  // Explicit but smaller than one drain group: raised to hold it.
+  qc::core::Options c;
+  c.install_combine = 64;
+  c.install_queue = 8;
+  const auto log = c.normalize();
+  CHECK(adjusted_to(log, "install_queue", 64));
+  CHECK(c.install_queue >= c.install_combine);
+
+  // A power of two >= the group size is untouched.
+  qc::core::Options d;
+  d.install_queue = 32;
+  CHECK(d.normalize().empty());
+}
+
+QC_TEST_MAIN()

@@ -1,0 +1,258 @@
+// Binary serde: round-trips are bit-identical for both engines, malformed
+// input (wrong magic/version/endianness, truncation) is rejected with the
+// precise status, and a deserialized sketch keeps ingesting correctly.
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "qc.hpp"
+#include "qc_test.hpp"
+#include "stream/generators.hpp"
+
+using qc::stream::Distribution;
+
+namespace {
+
+qc::Options small_options(std::uint32_t k, std::uint32_t b) {
+  qc::Options o;
+  o.k = k;
+  o.b = b;
+  o.topology = qc::numa::Topology::virtual_nodes(2, 2);
+  return o;
+}
+
+template <typename S>
+std::vector<std::byte> serialize_of(const S& s) {
+  std::vector<std::byte> out(s.serialized_size());
+  CHECK_EQ(s.serialize(out), out.size());
+  return out;
+}
+
+}  // namespace
+
+QC_TEST(sequential_roundtrip_is_bit_identical) {
+  const auto data = qc::stream::make_stream(Distribution::kNormal, 50'000, 3);
+  qc::QuantilesSketch<double> sk(128);
+  for (double v : data) sk.update(v);
+
+  const auto blob = serialize_of(sk);
+  qc::serde::Status st = qc::serde::Status::bad_payload;
+  auto back = qc::QuantilesSketch<double>::deserialize(blob, &st);
+  CHECK(st == qc::serde::Status::ok);
+  CHECK(back.has_value());
+  CHECK_EQ(back->size(), sk.size());
+  CHECK_EQ(back->retained(), sk.retained());
+  CHECK(back->summary() == sk.summary());  // bit-identical summary
+
+  // Continued ingestion matches the source exactly: the rng state shipped,
+  // so both sketches flip the same compaction coins from here on.
+  for (double v : data) {
+    sk.update(v);
+    back->update(v);
+  }
+  CHECK(back->summary() == sk.summary());
+}
+
+QC_TEST(concurrent_roundtrip_is_bit_identical) {
+  const auto data = qc::stream::make_stream(Distribution::kUniform, 60'000, 5);
+  qc::Quancurrent<double> sk(small_options(128, 8));
+  qc::bench::ingest_quancurrent(sk, data, 4, /*quiesce=*/true);
+
+  const auto blob = serialize_of(sk);
+  qc::serde::Status st = qc::serde::Status::bad_payload;
+  auto back = qc::Quancurrent<double>::deserialize(blob, &st);
+  CHECK(st == qc::serde::Status::ok);
+  CHECK(back != nullptr);
+  CHECK_EQ(back->size(), sk.size());
+  CHECK_EQ(back->retained(), sk.retained());
+  CHECK(back->tritmap() == sk.tritmap());
+
+  auto q_src = sk.make_querier();
+  auto q_back = back->make_querier();
+  CHECK(q_src.summary() == q_back.summary());  // bit-identical summary
+}
+
+QC_TEST(concurrent_roundtrip_preserves_tail) {
+  // 10 elements never reach an installed batch: all state lives in the tail.
+  qc::Quancurrent<double> sk(small_options(128, 8));
+  for (int i = 0; i < 10; ++i) sk.update(static_cast<double>(i));
+  sk.quiesce();
+
+  auto back = qc::Quancurrent<double>::deserialize(serialize_of(sk));
+  CHECK(back != nullptr);
+  CHECK_EQ(back->size(), 10u);
+  auto q = back->make_querier();
+  CHECK_NEAR(q.quantile(1.0), 9.0, 1e-12);
+}
+
+QC_TEST(to_bytes_matches_manual_serialize) {
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 5'000; ++i) sk.update(static_cast<double>(i));
+  CHECK(qc::to_bytes(sk) == serialize_of(sk));
+}
+
+QC_TEST(serialize_fails_cleanly_on_short_output) {
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 1'000; ++i) sk.update(static_cast<double>(i));
+  std::vector<std::byte> tiny(sk.serialized_size() - 1);
+  CHECK_EQ(sk.serialize(tiny), 0u);
+}
+
+QC_TEST(deserialize_rejects_bad_magic_version_endianness) {
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 1'000; ++i) sk.update(static_cast<double>(i));
+  const auto blob = serialize_of(sk);
+  qc::serde::Status st = qc::serde::Status::ok;
+
+  auto corrupted = blob;
+  corrupted[0] = std::byte{0x00};  // magic
+  CHECK(!qc::QuantilesSketch<double>::deserialize(corrupted, &st).has_value());
+  CHECK(st == qc::serde::Status::bad_magic);
+
+  corrupted = blob;
+  const std::uint16_t future_version = qc::serde::kVersion + 1;
+  std::memcpy(corrupted.data() + 4, &future_version, sizeof(future_version));
+  CHECK(!qc::QuantilesSketch<double>::deserialize(corrupted, &st).has_value());
+  CHECK(st == qc::serde::Status::bad_version);
+
+  corrupted = blob;
+  const std::uint16_t foreign_endianness = 0x0201;  // byte-swapped tag
+  std::memcpy(corrupted.data() + 6, &foreign_endianness, sizeof(foreign_endianness));
+  CHECK(!qc::QuantilesSketch<double>::deserialize(corrupted, &st).has_value());
+  CHECK(st == qc::serde::Status::bad_endianness);
+
+  // Engine mismatch: a sequential image is not a concurrent sketch.
+  CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+}
+
+QC_TEST(deserialize_rejects_oversized_k) {
+  // k lives at offset 12 (right after the common header) in both formats.
+  // 0x80000000 would overflow 2k (historically a SIGFPE inside the Options
+  // b-divisor loop); 0xFFFFFFFF would demand a ~64 GB base reservation.
+  // Both exceed Options::kMaxK, which no genuine image can carry.
+  qc::serde::Status st = qc::serde::Status::ok;
+
+  qc::Quancurrent<double> ck(small_options(64, 8));
+  ck.update(1.0);
+  ck.quiesce();
+  auto blob = serialize_of(ck);
+  const std::uint32_t overflow_k = 0x80000000u;
+  std::memcpy(blob.data() + 12, &overflow_k, sizeof(overflow_k));
+  CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+
+  qc::QuantilesSketch<double> sk(64);
+  sk.update(1.0);
+  auto sblob = serialize_of(sk);
+  const std::uint32_t huge_k = 0xFFFFFFFFu;
+  std::memcpy(sblob.data() + 12, &huge_k, sizeof(huge_k));
+  CHECK(!qc::QuantilesSketch<double>::deserialize(sblob, &st).has_value());
+  CHECK(st == qc::serde::Status::bad_payload);
+}
+
+QC_TEST(deserialize_rejects_oversized_ring_and_rho) {
+  // install_queue (offset 30) and rho (offset 20) above their caps cannot
+  // have come from serialize (images echo normalized options); both must be
+  // rejected promptly — the uncapped install_queue rounding loop used to
+  // hang forever on 2^31, before any allocation could even be attempted.
+  qc::Quancurrent<double> ck(small_options(64, 8));
+  ck.update(1.0);
+  ck.quiesce();
+  const auto blob = serialize_of(ck);
+  qc::serde::Status st = qc::serde::Status::ok;
+
+  auto corrupted = blob;
+  const std::uint32_t huge_queue = 0x80000000u;
+  std::memcpy(corrupted.data() + 30, &huge_queue, sizeof(huge_queue));
+  CHECK(qc::Quancurrent<double>::deserialize(corrupted, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+
+  corrupted = blob;
+  const std::uint32_t huge_rho = 0xFFFFFFFFu;
+  std::memcpy(corrupted.data() + 20, &huge_rho, sizeof(huge_rho));
+  CHECK(qc::Quancurrent<double>::deserialize(corrupted, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+}
+
+QC_TEST(deserialize_rejects_filled_level_in_tritmap) {
+  // A published tritmap never contains a trit of 2 (cascades compact filled
+  // levels before publishing); accepting one would let the next ingest
+  // cascade write past a level's two slots.
+  qc::Quancurrent<double> ck(small_options(64, 8));  // empty sketch
+  auto blob = serialize_of(ck);
+  // Empty image layout ends ... | tritmap u64 | tail_count u64 |.
+  const std::uint64_t trit2_at_level1 = 0x8ULL;  // trit(1) == 2
+  std::memcpy(blob.data() + blob.size() - 16, &trit2_at_level1,
+              sizeof(trit2_at_level1));
+  qc::serde::Status st = qc::serde::Status::ok;
+  CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+}
+
+QC_TEST(sequential_deserialize_bounds_base_count_by_buffer) {
+  // base_count passes the 2k sanity bound but exceeds the bytes present:
+  // must reject via the buffer bound BEFORE any count-proportional resize.
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 100; ++i) sk.update(static_cast<double>(i));
+  auto blob = serialize_of(sk);
+  const std::uint32_t max_k = qc::core::Options::kMaxK;
+  const std::uint64_t big_base = 2ULL * max_k;  // <= 2k, >> remaining bytes
+  std::memcpy(blob.data() + 12, &max_k, sizeof(max_k));
+  std::memcpy(blob.data() + 64, &big_base, sizeof(big_base));
+  qc::serde::Status st = qc::serde::Status::ok;
+  CHECK(!qc::QuantilesSketch<double>::deserialize(blob, &st).has_value());
+  CHECK(st == qc::serde::Status::short_buffer);
+}
+
+QC_TEST(deserialize_rejects_overflowing_tail_count) {
+  // One updater, one node, exactly four full 2k batches: quiesce leaves the
+  // tail empty, so the blob's final 8 bytes are tail_count = 0.
+  qc::Options o = small_options(64, 8);
+  o.topology = qc::numa::Topology::virtual_nodes(1, 1);
+  qc::Quancurrent<double> ck(o);
+  {
+    auto u = ck.make_updater(0);
+    for (int i = 0; i < 4 * 128; ++i) u.update(static_cast<double>(i));
+  }
+  ck.quiesce();
+  auto blob = serialize_of(ck);
+
+  // A tail_count crafted so count * sizeof(double) wraps to a small value
+  // must still be rejected (not crash on a 2^61-element resize).
+  const std::uint64_t overflowing = 0x2000000000000001ULL;
+  std::memcpy(blob.data() + blob.size() - sizeof(overflowing), &overflowing,
+              sizeof(overflowing));
+  qc::serde::Status st = qc::serde::Status::ok;
+  CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::short_buffer);
+}
+
+QC_TEST(deserialize_rejects_truncation_at_every_prefix_length) {
+  qc::Quancurrent<double> ck(small_options(64, 8));
+  for (int i = 0; i < 5'000; ++i) ck.update(static_cast<double>(i));
+  ck.quiesce();
+  const auto blob = serialize_of(ck);
+  // Every strict prefix must fail (never crash, never succeed); step a prime
+  // to keep the test fast while hitting unaligned cut points.
+  for (std::size_t len = 0; len < blob.size(); len += 13) {
+    qc::serde::Status st = qc::serde::Status::ok;
+    CHECK(qc::Quancurrent<double>::deserialize(
+              std::span<const std::byte>(blob.data(), len), &st) == nullptr);
+    CHECK(st != qc::serde::Status::ok);
+  }
+
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 5'000; ++i) sk.update(static_cast<double>(i));
+  const auto sblob = serialize_of(sk);
+  for (std::size_t len = 0; len < sblob.size(); len += 13) {
+    qc::serde::Status st = qc::serde::Status::ok;
+    CHECK(!qc::QuantilesSketch<double>::deserialize(
+               std::span<const std::byte>(sblob.data(), len), &st)
+               .has_value());
+    CHECK(st != qc::serde::Status::ok);
+  }
+}
+
+QC_TEST_MAIN()
