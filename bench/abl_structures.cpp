@@ -1,9 +1,11 @@
 // Ablation A2: structural choices — snapshot caching and Gather&Sort
 // double-buffering.
-//  (a) snapshot cache off (rho = 0) vs on (rho = 1.05) in a mixed workload:
-//      quantifies Figure 6c's caching claim in isolation;
-//  (b) one vs two G&S buffers per node in update-only: quantifies the
-//      ingestion/propagation overlap the second buffer provides.
+//  (a) querier snapshot cache on (incremental refresh) vs off (refresh_full
+//      on every query) in a mixed workload: quantifies Figure 6c's caching
+//      claim in isolation;
+//  (b) one vs two G&S buffers per node (rho = 1 vs rho = 2) in update-only:
+//      quantifies the ingestion/propagation overlap the second buffer
+//      provides.
 //
 // Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
 #include <cstdio>
@@ -26,21 +28,20 @@ int main() {
 
   const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 13);
 
-  // (a) snapshot cache.
+  // (a) querier snapshot cache.
   {
     std::printf("-- (a) snapshot cache in a mixed workload (2 upd, 4 qry) --\n");
-    Table t({"rho", "query_tput", "update_tput", "miss_rate"});
-    for (double rho : {0.0, 1.05}) {
+    Table t({"cache", "query_tput", "update_tput", "miss_rate"});
+    for (bool cache_off : {false, true}) {
       core::Options o;
       o.k = k;
       o.b = b;
-      o.rho = rho;
       o.collect_stats = true;
       o.topology = numa::Topology::virtual_nodes(1, 8);
       core::Quancurrent<double> sk(o);
       bench::ingest_quancurrent(sk, data, 2, /*quiesce=*/true);
-      const auto r = bench::run_mixed(sk, data, 2, 4);
-      t.add_row({Table::num(rho, 2), Table::mops(r.query_throughput),
+      const auto r = bench::run_mixed(sk, data, 2, 4, /*full_refresh=*/cache_off);
+      t.add_row({cache_off ? "off" : "on", Table::mops(r.query_throughput),
                  Table::mops(r.update_throughput), Table::percent(r.query_miss_rate)});
     }
     t.print();
@@ -56,7 +57,7 @@ int main() {
           core::Options o;
           o.k = k;
           o.b = b;
-          o.single_gs_buffer = single;
+          o.rho = single ? 1 : 2;  // Gather&Sort buffers per node
           o.topology = numa::Topology::virtual_nodes(4, 8);
           core::Quancurrent<double> sk(o);
           return throughput(data.size(), bench::ingest_quancurrent(sk, data, threads));

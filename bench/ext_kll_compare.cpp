@@ -8,6 +8,7 @@
 //
 // Env: QC_SCALE/QC_KEYS/QC_RUNS.
 #include <cstdio>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "common/env.hpp"
@@ -30,7 +31,7 @@ template <class Sketch>
 Row measure(Sketch& sk, const std::vector<double>& data) {
   qc::Timer timer;
   for (double x : data) sk.update(x);
-  const double secs = timer.elapsed_seconds();
+  const double secs = timer.seconds();
   qc::stream::ExactQuantiles<double> exact{std::vector<double>(data)};
   double max_err = 0;
   for (double phi = 0.05; phi <= 0.951; phi += 0.05) {
@@ -50,6 +51,7 @@ int main() {
 
   const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 77);
 
+  bench::JsonKv kv("ext_kll_compare", scale.name);
   Table t({"k", "classic_retained", "kll_retained", "classic_maxerr", "kll_maxerr",
            "classic_tput", "kll_tput"});
   for (std::uint32_t k : {64u, 256u, 1024u, 4096u}) {
@@ -60,8 +62,20 @@ int main() {
     t.add_row({Table::integer(k), Table::integer(rc.retained), Table::integer(rk.retained),
                Table::num(rc.max_err, 5), Table::num(rk.max_err, 5), Table::mops(rc.tput),
                Table::mops(rk.tput)});
+    const std::string prefix = "k" + std::to_string(k);
+    kv.add(prefix + "_classic_mops", rc.tput / 1e6);
+    kv.add(prefix + "_kll_mops", rk.tput / 1e6);
+    kv.add(prefix + "_classic_retained", static_cast<double>(rc.retained));
+    kv.add(prefix + "_kll_retained", static_cast<double>(rk.retained));
+    kv.add(prefix + "_classic_maxerr", rc.max_err);
+    kv.add(prefix + "_kll_maxerr", rk.max_err);
   }
   t.print();
+  const std::string json_dir = bench::json_out_dir();
+  if (!json_dir.empty()) {
+    const std::string path = json_dir + "/BENCH_kll.json";
+    if (kv.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   std::printf("\nexpected: KLL retains a near-constant ~3k elements vs classic's\n"
               "k*popcount(n/2k); accuracy at equal k is the same order.\n");
   return 0;

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "common/env.hpp"
@@ -26,6 +27,7 @@ int main() {
   std::printf("k=%u n=%llu runs=%u distinct keys\n\n", k,
               static_cast<unsigned long long>(scale.keys), scale.runs);
 
+  bench::JsonSeries series("ext_theta_scaling", scale.name, "concurrent_updates_per_sec");
   Table t({"threads", "concurrent", "mutex_baseline", "ratio", "est_rel_err"});
   for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
     const auto ranges = bench::split_ranges(scale.keys, threads);
@@ -64,8 +66,16 @@ int main() {
 
     t.add_row({Table::integer(threads), Table::mops(conc_tput), Table::mops(mutex_tput),
                Table::num(conc_tput / mutex_tput, 2) + "x", Table::num(est_err, 4)});
+    series.add(threads, conc_tput);
+    series.counter("mutex_mops_t" + std::to_string(threads), mutex_tput / 1e6);
+    series.counter("est_rel_err_t" + std::to_string(threads), est_err);
   }
   t.print();
+  const std::string json_dir = bench::json_out_dir();
+  if (!json_dir.empty()) {
+    const std::string path = json_dir + "/BENCH_theta.json";
+    if (series.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   std::printf("\nexpected: the theta-filtered, hole-tolerant design scales with\n"
               "threads while the mutex baseline is flat; estimates stay within\n"
               "KMV error (~%.4f for k=%u).\n", 3.0 / std::sqrt(k - 2.0), k);

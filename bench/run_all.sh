@@ -3,9 +3,11 @@
 # non-zero.  Benches that track a perf trajectory (fig06a -> BENCH_ingest
 # incl. ingest contention counters, fig06b -> BENCH_query, micro_primitives
 # -> BENCH_ingest_micro with the Gather&Sort and install-combining sweeps,
-# fig07c -> BENCH_rho, ext_sharded_scaling -> BENCH_sharded) drop their JSON
-# into QC_BENCH_JSON (default: the build dir), where CI picks them up as
-# artifacts.
+# fig07c -> BENCH_rho, ext_sharded_scaling -> BENCH_sharded, fig10_vs_fcds
+# -> BENCH_fig10 with the Quancurrent-vs-FCDS matched-relaxation sweep,
+# ext_kll_compare -> BENCH_kll, ext_theta_scaling -> BENCH_theta) drop their
+# JSON into QC_BENCH_JSON (default: the build dir), where CI picks them up
+# as artifacts.
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 set -u
 
@@ -40,7 +42,8 @@ if [ "${ran}" -eq 0 ]; then
 fi
 
 for json in BENCH_ingest.json BENCH_query.json BENCH_ingest_micro.json \
-            BENCH_rho.json BENCH_sharded.json; do
+            BENCH_rho.json BENCH_sharded.json BENCH_fig10.json \
+            BENCH_kll.json BENCH_theta.json; do
   if [ -f "${QC_BENCH_JSON}/${json}" ]; then
     echo "perf artifact: ${QC_BENCH_JSON}/${json}"
   else

@@ -1,0 +1,57 @@
+// Relaxation accounting for the Figure 10 comparison (Quancurrent §5.4 vs.
+// FCDS, Rinberg & Keidar's Fast Concurrent Data Sketches).
+//
+// A relaxed sketch may hide a bounded number of already-ingested elements
+// from queries.  Both designs trade relaxation for throughput, but through
+// different knobs, so the fair comparison fixes a target relaxation r and
+// derives each design's buffer size from it:
+//
+//   Quancurrent:  r = 4kS + (N - S) * b
+//     Each of the S NUMA nodes hides up to rho = 2 Gather&Sort buffers of 2k
+//     elements (4kS total), and each of the N update threads hides a local
+//     buffer of b elements; the paper folds the S batch owners' buffers into
+//     the gather term, leaving (N - S) * b.
+//
+//   FCDS:         r = 2NB
+//     Each of the N workers owns two B-sized buffers (one filling, one
+//     awaiting the propagator), all invisible until propagated.
+//
+// The *_buffer_for_relaxation helpers invert the formulas: the largest
+// integer buffer size whose relaxation does not exceed the target (0 when no
+// positive buffer fits).  They are exact inverses on achievable points:
+// buffer_for_relaxation(relaxation(b)) == b.
+#pragma once
+
+#include <cstdint>
+
+namespace qc::analysis {
+
+// r = 4kS + (N - S) * b for N update threads over S nodes with local buffer b.
+inline std::uint64_t quancurrent_relaxation(std::uint64_t k, std::uint64_t nodes,
+                                            std::uint64_t threads, std::uint64_t b) {
+  const std::uint64_t locals = threads > nodes ? (threads - nodes) * b : 0;
+  return 4 * k * nodes + locals;
+}
+
+// Largest b with quancurrent_relaxation(k, nodes, threads, b) <= r; 0 when
+// even b = 1 overshoots (the gather term alone exceeds r) or no thread has a
+// local buffer to size (threads <= nodes).
+inline std::uint64_t quancurrent_buffer_for_relaxation(std::uint64_t r, std::uint64_t k,
+                                                       std::uint64_t nodes,
+                                                       std::uint64_t threads) {
+  const std::uint64_t gather = 4 * k * nodes;
+  if (threads <= nodes || r < gather) return 0;
+  return (r - gather) / (threads - nodes);
+}
+
+// r = 2NB for N workers with worker buffer B (two B-buffers per worker).
+inline std::uint64_t fcds_relaxation(std::uint64_t workers, std::uint64_t B) {
+  return 2 * workers * B;
+}
+
+// Largest B with fcds_relaxation(workers, B) <= r; 0 when r < 2N.
+inline std::uint64_t fcds_buffer_for_relaxation(std::uint64_t r, std::uint64_t workers) {
+  return workers == 0 ? 0 : r / (2 * workers);
+}
+
+}  // namespace qc::analysis

@@ -44,6 +44,24 @@ double ingest_quancurrent(Sketch& sketch, const std::vector<T>& data,
   return seconds + drain_timer.seconds();
 }
 
+// Feeds `data` into an FCDS-style baseline (anything whose make_updater
+// takes a worker index and whose updaters drain on destruction — see
+// baselines/fcds.hpp) from `threads` worker threads, each owning a
+// contiguous slice; returns wall seconds of the worker phase.  Mirrors
+// ingest_quancurrent without quiesce: the propagator keeps consuming after
+// the workers return, leaving at most the design's relaxation bound (2NB)
+// unconsumed — the same measurement convention fig10 uses for both engines.
+template <typename Sketch, typename T = typename Sketch::value_type>
+double ingest_fcds(Sketch& sketch, const std::vector<T>& data, std::uint32_t threads) {
+  if (threads == 0) threads = 1;
+  const auto ranges = split_ranges(data.size(), threads);
+  return timed_parallel(threads, [&](std::uint32_t tid) {
+    auto updater = sketch.make_updater(tid);
+    const auto [begin, end] = ranges[tid];
+    for (std::uint64_t i = begin; i < end; ++i) updater.update(data[i]);
+  });
+}
+
 // Refresh-latency sampling cadence: timing every refresh would swamp the
 // fast incremental path, so workloads time one refresh in every
 // kLatencySamplePeriod queries.
@@ -52,19 +70,32 @@ inline constexpr std::uint64_t kLatencySamplePeriod = 64;
 // The query inner loop shared by the query-only and mixed workloads: one
 // refresh + one quantile per query, phi sweeping (0, 1), one timed refresh
 // per kLatencySamplePeriod.  Runs while keep_going(count); returns the query
-// count.
+// count.  full_refresh = true bypasses the querier's incremental snapshot
+// cache (refresh_full) on every query — the cache-off arm of the
+// abl_structures ablation; queriers without a refresh_full (e.g. the
+// sharded facade's) silently keep the cached path.
 template <typename Querier, typename KeepGoing>
 std::uint64_t query_loop(Querier& querier, std::vector<double>& latency_us,
-                         double phi_start, KeepGoing&& keep_going) {
+                         double phi_start, KeepGoing&& keep_going,
+                         bool full_refresh = false) {
+  const auto do_refresh = [&querier, full_refresh] {
+    if constexpr (requires { querier.refresh_full(); }) {
+      if (full_refresh) {
+        querier.refresh_full();
+        return;
+      }
+    }
+    querier.refresh();
+  };
   std::uint64_t count = 0;
   double phi = phi_start;
   while (keep_going(count)) {
     if (count % kLatencySamplePeriod == 0) {
       Timer rt;
-      querier.refresh();
+      do_refresh();
       latency_us.push_back(rt.seconds() * 1e6);
     } else {
-      querier.refresh();
+      do_refresh();
     }
     (void)querier.quantile(phi);
     ++count;
@@ -122,13 +153,19 @@ struct MixedResult {
   std::uint64_t queries = 0;
   std::uint64_t holes = 0;
   std::uint64_t query_retries = 0;
+  // Derived: holes / queries — the fraction of query snapshots (scaled by
+  // arrays per acceptance) that had to accept an unvalidated array.  The
+  // snapshot-cache ablation (abl_structures) reads it directly.
+  double query_miss_rate = 0.0;
 };
 
 // Runs `upd_threads` updaters pushing all of `updates` while `qry_threads`
 // queriers issue refresh+quantile operations until the updates finish.
+// full_refresh forces the cache-bypassing query path (see query_loop).
 template <typename Sketch, typename T = typename Sketch::value_type>
 MixedResult run_mixed(Sketch& sketch, const std::vector<T>& updates,
-                      std::uint32_t upd_threads, std::uint32_t qry_threads) {
+                      std::uint32_t upd_threads, std::uint32_t qry_threads,
+                      bool full_refresh = false) {
   if (upd_threads == 0) upd_threads = 1;
   const auto before = sketch.stats();
   const auto ranges = split_ranges(updates.size(), upd_threads);
@@ -153,7 +190,8 @@ MixedResult run_mixed(Sketch& sketch, const std::vector<T>& updates,
           query_loop(querier, latencies[t - upd_threads], 0.001 * (t + 1),
                      [&done](std::uint64_t) {
                        return !done.load(std::memory_order_acquire);
-                     });
+                     },
+                     full_refresh);
       total_queries.fetch_add(count, std::memory_order_acq_rel);
     }
   });
@@ -166,6 +204,8 @@ MixedResult run_mixed(Sketch& sketch, const std::vector<T>& updates,
   std::tie(r.refresh_p50_us, r.refresh_p99_us) = pooled_refresh_percentiles(latencies);
   r.holes = after.holes - before.holes;
   r.query_retries = after.query_retries - before.query_retries;
+  r.query_miss_rate =
+      r.queries == 0 ? 0.0 : static_cast<double>(r.holes) / static_cast<double>(r.queries);
   return r;
 }
 

@@ -1,0 +1,160 @@
+// KLL sketch (Karnin–Lang–Liberty, "Optimal Quantile Approximation in
+// Streams") — the modern successor of the classic quantiles sketch the paper
+// builds Quancurrent on, kept here as the single-threaded accuracy/space
+// baseline for ext_kll_compare.
+//
+// Where the classic sketch keeps every level at exactly k items (retained
+// space k * popcount(n / 2k)), KLL lets compactor capacities SHRINK
+// geometrically below the top level: level h holds up to
+// ceil(k * c^(H-1-h)) items (c = 2/3, floor 2), so total retained space is
+// ~k * 1/(1-c) = 3k regardless of stream length, at the same O(1/k) rank
+// error.  This is the variant with full-buffer compaction (each over-full
+// compactor is sorted, halved by odd/even sampling — an odd item is held
+// back, never up-weighted — and the survivors pushed one level up), the
+// standard simplification of the paper's scheme and the shape DataSketches
+// ships.
+//
+// Queries reuse the merge-based engine (core/run_merge.hpp): each compactor
+// is sorted into a scratch run (compactors are unsorted between
+// compactions), multiway-merged into a prefix-weight summary, and
+// quantile/rank/cdf answer by binary search, exactly like QuantilesSketch.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/run_merge.hpp"
+
+namespace qc::sequential {
+
+template <typename T, typename Compare = std::less<T>>
+class KllSketch {
+ public:
+  using value_type = T;
+
+  explicit KllSketch(std::uint32_t k, std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+      : k_(k < 2 ? 2 : k), rng_(seed) {
+    compactors_.emplace_back();
+    compactors_[0].reserve(k_);
+    cap0_ = capacity(0);
+  }
+
+  void update(const T& v) {
+    compactors_[0].push_back(v);
+    ++n_;
+    dirty_ = true;
+    if (compactors_[0].size() >= cap0_) compress();
+  }
+
+  // Total number of elements fed into the sketch.
+  std::uint64_t size() const { return n_; }
+
+  // Number of items physically stored; stays ~3k for any stream length.
+  std::uint64_t retained() const {
+    std::uint64_t r = 0;
+    for (const auto& level : compactors_) r += level.size();
+    return r;
+  }
+
+  std::uint32_t k() const { return k_; }
+  std::uint32_t num_levels() const { return static_cast<std::uint32_t>(compactors_.size()); }
+
+  // Estimated number of stream elements strictly less than `v`.
+  std::uint64_t rank(const T& v) const {
+    build_summary();
+    return core::summary_rank(summary_, v, cmp_);
+  }
+
+  double cdf(const T& v) const {
+    return n_ == 0 ? 0.0 : static_cast<double>(rank(v)) / static_cast<double>(n_);
+  }
+
+  // Estimated phi-quantile: the smallest retained item whose cumulative
+  // weight reaches phi * n.
+  T quantile(double phi) const {
+    if (n_ == 0) return T{};
+    build_summary();
+    return core::summary_quantile(summary_, phi);
+  }
+
+  // The merged prefix-weight summary (rebuilt lazily after updates).
+  const core::WeightedSummary<T>& summary() const {
+    build_summary();
+    return summary_;
+  }
+
+ private:
+  static constexpr double kShrink = 2.0 / 3.0;  // capacity decay per level below the top
+
+  // Capacity of compactor h: k at the current top level, shrinking by 2/3
+  // per level below it, floored at 2.  Adding a top level shrinks every
+  // lower capacity; the lazily-triggered compactions absorb the excess.
+  std::size_t capacity(std::size_t h) const {
+    double cap = static_cast<double>(k_);
+    for (std::size_t i = h + 1; i < compactors_.size(); ++i) cap *= kShrink;
+    return std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(cap)));
+  }
+
+  // One bottom-up sweep: every over-capacity compactor is sorted and halved
+  // into the level above (weight doubles), so a cascade triggered at level 0
+  // settles every level it spills into.
+  void compress() {
+    for (std::size_t h = 0; h < compactors_.size(); ++h) {
+      if (compactors_[h].size() < capacity(h)) continue;
+      if (h + 1 == compactors_.size()) compactors_.emplace_back();
+      auto& level = compactors_[h];
+      // An odd item is held back at its level (weight preserved), never
+      // up-weighted — compaction must conserve total weight exactly.
+      std::optional<T> held;
+      if (level.size() % 2 == 1) {
+        held = level.back();
+        level.pop_back();
+      }
+      std::sort(level.begin(), level.end(), cmp_);
+      const bool keep_odd = rng_.next_bool();
+      auto& up = compactors_[h + 1];
+      for (std::size_t i = keep_odd ? 1 : 0; i < level.size(); i += 2) {
+        up.push_back(level[i]);
+      }
+      level.clear();
+      if (held) level.push_back(*held);
+    }
+    // Level additions shrink every lower capacity; refresh the cached
+    // level-0 trigger once per sweep instead of per update (the hot path).
+    cap0_ = capacity(0);
+  }
+
+  void build_summary() const {
+    if (!dirty_) return;
+    sorted_levels_.resize(compactors_.size());
+    runs_.clear();
+    for (std::size_t h = 0; h < compactors_.size(); ++h) {
+      sorted_levels_[h] = compactors_[h];
+      std::sort(sorted_levels_[h].begin(), sorted_levels_[h].end(), cmp_);
+      if (sorted_levels_[h].empty()) continue;
+      runs_.push_back({sorted_levels_[h].data(), sorted_levels_[h].size(), 1ULL << h});
+    }
+    merger_.merge(std::span<const core::RunRef<T>>(runs_), summary_, cmp_);
+    dirty_ = false;
+  }
+
+  std::uint32_t k_;
+  Xoshiro256 rng_;
+  Compare cmp_;
+  std::uint64_t n_ = 0;
+  std::size_t cap0_ = 2;  // cached capacity(0): the per-update fill trigger
+  std::vector<std::vector<T>> compactors_;  // compactors_[h]: items of weight 2^h
+  mutable std::vector<std::vector<T>> sorted_levels_;
+  mutable std::vector<core::RunRef<T>> runs_;
+  mutable core::RunMerger<T, Compare> merger_;
+  mutable core::WeightedSummary<T> summary_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace qc::sequential

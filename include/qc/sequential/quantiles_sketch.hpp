@@ -66,6 +66,28 @@ std::vector<T> sample_odd_or_even(std::span<const T> sorted, bool keep_odd) {
   return out;
 }
 
+// Installs a k-sized sorted carry at `level` of a classic ladder (levels[i]
+// holds one run of weight 2^(i+1)), merging and re-compacting upward while
+// occupied — one rng coin per re-compaction.  Shared by QuantilesSketch and
+// the FCDS baseline (baselines/fcds.hpp), whose single-worker bit-for-bit
+// equivalence depends on the two ladders staying in lockstep.
+template <typename T, typename Compare, typename Rng>
+void ladder_propagate(std::vector<std::vector<T>>& levels, std::vector<T> carry,
+                      std::uint32_t level, Rng& rng, Compare cmp) {
+  for (;; ++level) {
+    if (levels.size() < level) levels.resize(level);
+    auto& slot = levels[level - 1];
+    if (slot.empty()) {
+      slot = std::move(carry);
+      return;
+    }
+    const auto merged =
+        merge_sorted(std::span<const T>(slot), std::span<const T>(carry), cmp);
+    slot.clear();
+    carry = sample_odd_or_even(std::span<const T>(merged), rng.next_bool());
+  }
+}
+
 template <typename T, typename Compare = std::less<T>>
 class QuantilesSketch {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -292,18 +314,7 @@ class QuantilesSketch {
 
   // Installs a k-sized array at `level`, merging upward while occupied.
   void propagate(std::vector<T> carry, std::uint32_t level) {
-    for (;; ++level) {
-      if (levels_.size() < level) levels_.resize(level);
-      auto& slot = levels_[level - 1];
-      if (slot.empty()) {
-        slot = std::move(carry);
-        return;
-      }
-      const auto merged =
-          merge_sorted(std::span<const T>(slot), std::span<const T>(carry), cmp_);
-      slot.clear();
-      carry = sample_odd_or_even(std::span<const T>(merged), rng_.next_bool());
-    }
+    ladder_propagate(levels_, std::move(carry), level, rng_, cmp_);
   }
 
   // Produces the fully sorted contents of the base buffer in `out`.  With

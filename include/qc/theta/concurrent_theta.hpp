@@ -1,0 +1,125 @@
+// Concurrent Theta sketch — the FCDS-style wrapper ext_theta_scaling drives,
+// exploring Quancurrent §6's future work (concurrency for another sketch
+// family) with the same ingredients as the quantiles engine: per-thread
+// local buffers, batched hand-off to the shared structure, and a relaxed
+// view in between.
+//
+// Design (after Rinberg et al.'s concurrent Theta): every updater hashes its
+// keys locally and FILTERS them against a cached global theta (one relaxed
+// atomic load — no shared write); survivors accumulate in a local buffer of
+// b hashes that is handed to the shared sequential sketch in one short
+// critical section, which also refreshes the published theta.  Because theta
+// shrinks as ~k/n, the survivor rate — and with it, lock acquisitions —
+// decays toward zero over the stream: updaters spend virtually all their
+// time in private filtering, which is why the design scales with threads
+// while the lock-per-update baseline stays flat.
+//
+// Relaxation: up to N*b locally buffered survivors (plus anything filtered
+// by a stale cached theta, which the estimator tolerates by construction)
+// are invisible to estimate() until flushed.
+//
+// Thread contract: one Updater per thread (flush() or destroy to publish the
+// local buffer); estimate()/drain() are safe concurrently with updaters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "numa/topology.hpp"
+#include "theta/theta_sketch.hpp"
+
+namespace qc::theta {
+
+class ConcurrentTheta {
+ public:
+  struct Options {
+    std::uint32_t k = 4096;  // summary size of the shared sketch
+    std::uint32_t b = 16;    // local survivor buffer (hashes per hand-off)
+    // Accepted for bench symmetry with core::Options; the shared sketch has
+    // no per-node state (yet), so placement does not change behavior.
+    numa::Topology topology = numa::Topology::single_node();
+  };
+
+  explicit ConcurrentTheta(Options opts) : opts_(opts), shared_(opts.k) {
+    if (opts_.b == 0) opts_.b = 1;
+  }
+
+  ConcurrentTheta(const ConcurrentTheta&) = delete;
+  ConcurrentTheta& operator=(const ConcurrentTheta&) = delete;
+
+  const Options& options() const { return opts_; }
+
+  // Per-thread ingestion handle; not thread-safe, create one per thread.
+  class Updater {
+   public:
+    explicit Updater(ConcurrentTheta& sketch) : sketch_(&sketch), b_(sketch.opts_.b) {
+      buf_.reserve(b_);
+    }
+
+    Updater(const Updater&) = delete;
+    Updater& operator=(const Updater&) = delete;
+    Updater(Updater&& other) noexcept
+        : sketch_(std::exchange(other.sketch_, nullptr)),
+          b_(other.b_),
+          buf_(std::move(other.buf_)) {}
+    Updater& operator=(Updater&&) = delete;
+
+    ~Updater() { flush(); }
+
+    void update(std::uint64_t key) {
+      const std::uint64_t h = hash64(key);
+      // The cached theta only ever shrinks, so a stale read admits a few
+      // extra survivors (discarded by the shared sketch's own threshold) and
+      // never loses one.
+      if (h >= sketch_->theta_cache_.load(std::memory_order_relaxed)) return;
+      buf_.push_back(h);
+      if (buf_.size() >= b_) flush();
+    }
+
+    // Publishes the local survivor buffer to the shared sketch.
+    void flush() {
+      if (sketch_ == nullptr || buf_.empty()) return;
+      sketch_->ingest_hashes(buf_);
+      buf_.clear();
+    }
+
+   private:
+    ConcurrentTheta* sketch_;
+    std::size_t b_;
+    std::vector<std::uint64_t> buf_;
+  };
+
+  Updater make_updater() { return Updater(*this); }
+
+  // Compacts the shared sketch (local buffers are the updaters' to flush).
+  void drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shared_.compact();
+  }
+
+  double estimate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shared_.estimate();
+  }
+
+  std::uint64_t theta() const { return theta_cache_.load(std::memory_order_acquire); }
+
+ private:
+  friend class Updater;
+
+  void ingest_hashes(const std::vector<std::uint64_t>& hashes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::uint64_t h : hashes) shared_.update_hash(h);
+    theta_cache_.store(shared_.theta(), std::memory_order_release);
+  }
+
+  Options opts_;
+  std::mutex mu_;
+  ThetaSketch shared_;
+  std::atomic<std::uint64_t> theta_cache_{~std::uint64_t{0}};
+};
+
+}  // namespace qc::theta

@@ -1,0 +1,93 @@
+// Sequential Theta sketch (KMV / K-Minimum-Values with a theta threshold) —
+// distinct counting, the substrate for ext_theta_scaling's exploration of
+// the paper's §6 future work (hole-tolerant concurrency for other sketch
+// families).
+//
+// Invariant: `keep_` holds hashes strictly below `theta_` (possibly with
+// buffered duplicates); after compact() it is deduplicated and truncated to
+// the k smallest distinct hashes, with theta_ = the (k+1)-th smallest
+// distinct hash seen.  The estimator retained / (theta / 2^64) is then the
+// unbiased KMV estimate k / U_(k+1); before the sketch ever fills, theta
+// stays at 2^64 and the estimate is the exact distinct count.  Updates
+// cheaper than a comparison against theta_ are rejected outright, which is
+// what the concurrent wrapper exploits: once theta is small, almost every
+// update is filtered locally without touching shared state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace qc::theta {
+
+// 64-bit mix (splitmix64 finalizer): maps keys to i.i.d.-looking uniform
+// hashes; shared by the sequential sketch and the concurrent wrapper's
+// updater-side filter.
+inline std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class ThetaSketch {
+ public:
+  explicit ThetaSketch(std::uint32_t k) : k_(k < 2 ? 2 : k) {
+    limit_ = 2 * static_cast<std::size_t>(k_);
+    keep_.reserve(limit_ + 1);
+  }
+
+  void update(std::uint64_t key) { update_hash(hash64(key)); }
+
+  // Pre-hashed insert (the concurrent wrapper hashes on updater threads).
+  void update_hash(std::uint64_t h) {
+    if (h >= theta_) return;
+    keep_.push_back(h);
+    if (keep_.size() >= limit_) compact();
+  }
+
+  // Current threshold: hashes at or above it are rejected unseen.
+  std::uint64_t theta() const { return theta_; }
+
+  std::uint32_t k() const { return k_; }
+
+  // Distinct hashes currently retained (deduplicates the insert buffer).
+  std::uint64_t retained() {
+    dedup();
+    return keep_.size();
+  }
+
+  // Deduplicates and, when over k distinct survivors, advances theta to the
+  // (k+1)-th smallest and truncates to the k smallest.
+  void compact() {
+    dedup();
+    if (keep_.size() > k_) {
+      theta_ = keep_[k_];
+      keep_.resize(k_);
+    }
+  }
+
+  // Distinct-count estimate: exact while theta is still 2^64, otherwise the
+  // unbiased KMV estimator retained / (theta / 2^64).
+  double estimate() {
+    dedup();
+    if (theta_ == kMaxTheta) return static_cast<double>(keep_.size());
+    const double theta_norm = static_cast<double>(theta_) * 0x1.0p-64;
+    return static_cast<double>(keep_.size()) / theta_norm;
+  }
+
+ private:
+  static constexpr std::uint64_t kMaxTheta = ~std::uint64_t{0};
+
+  void dedup() {
+    std::sort(keep_.begin(), keep_.end());
+    keep_.erase(std::unique(keep_.begin(), keep_.end()), keep_.end());
+  }
+
+  std::uint32_t k_;
+  std::size_t limit_ = 0;        // buffered inserts before an amortized compact
+  std::uint64_t theta_ = kMaxTheta;
+  std::vector<std::uint64_t> keep_;  // hashes < theta_, dups until dedup()
+};
+
+}  // namespace qc::theta
