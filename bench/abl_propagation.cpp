@@ -7,6 +7,7 @@
 //
 // Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
 #include <cstdio>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
@@ -26,6 +27,10 @@ int main() {
 
   const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 12);
 
+  // Headline series: the collaborative arm's ingest throughput (the
+  // regression-gated metric); the serialized arm rides along as counters so
+  // the trajectory records the ratio without gating on the ablation arm.
+  bench::JsonSeries json("abl_propagation", scale.name, "ops_per_sec");
   Table t({"threads", "collaborative", "serialized", "ratio"});
   for (std::uint32_t threads : bench::thread_sweep(scale.max_threads)) {
     auto measure = [&](bool serialize) {
@@ -41,10 +46,18 @@ int main() {
     };
     const double collab = measure(false);
     const double serial = measure(true);
+    json.add(threads, collab);
+    json.counter("serialized_t" + std::to_string(threads), serial);
     t.add_row({Table::integer(threads), Table::mops(collab), Table::mops(serial),
                Table::num(collab / serial, 2) + "x"});
   }
   t.print();
   std::printf("\nexpected: ratio grows with threads — serialization caps scaling.\n");
+
+  const std::string dir = bench::json_out_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_abl_propagation.json";
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -1,11 +1,12 @@
 // Ablation A3: IBR tuning — epoch frequency × reclamation frequency sweep.
-// Quancurrent allocates one level array per batch and per propagation hop
-// plus MCAS descriptors; reclamation cadence trades peak memory against
-// scan overhead.  This ablation quantifies both sides so the defaults in
-// core/options.hpp are justified by data rather than folklore.
+// Quancurrent allocates one level block per cascade hop; reclamation cadence
+// trades peak retire-list memory against scan overhead.  This ablation
+// quantifies both sides so the defaults in core/options.hpp are justified by
+// data rather than folklore.
 //
 // Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
 #include <cstdio>
+#include <string>
 
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
@@ -26,24 +27,42 @@ int main() {
 
   const auto data = stream::make_stream(stream::Distribution::kUniform, scale.keys, 21);
 
-  Table t({"epoch_freq", "recl_freq", "throughput", "peak_live_blocks", "scans"});
+  // Keys follow the tput_/diagnostic split check_regression.py understands:
+  // only tput_* keys gate; the IBR counters ride along as context.
+  bench::JsonKv json("abl_reclamation", scale.name);
+  Table t({"epoch_freq", "recl_freq", "throughput", "live_blocks",
+           "peak_unreclaimed", "scans"});
   for (std::uint64_t ef : {4ull, 64ull, 1024ull}) {
     for (std::uint64_t rf : {4ull, 64ull, 1024ull}) {
       core::Options o;
       o.k = k;
       o.b = b;
-      o.ibr_epoch_freq = ef;
-      o.ibr_recl_freq = rf;
+      o.ibr_epoch_freq = static_cast<std::uint32_t>(ef);
+      o.ibr_recl_freq = static_cast<std::uint32_t>(rf);
       core::Quancurrent<double> sk(o);
       const double secs = bench::ingest_quancurrent(sk, data, threads);
       const auto ibr = sk.ibr_stats();
+      const std::string tag =
+          "ef" + std::to_string(ef) + "_rf" + std::to_string(rf);
+      json.add("tput_" + tag, throughput(data.size(), secs));
+      json.add("live_blocks_" + tag, static_cast<double>(ibr.live_blocks()));
+      json.add("peak_unreclaimed_" + tag,
+               static_cast<double>(ibr.peak_unreclaimed));
+      json.add("scans_" + tag, static_cast<double>(ibr.scans));
       t.add_row({Table::integer(ef), Table::integer(rf),
                  Table::mops(throughput(data.size(), secs)),
-                 Table::integer(ibr.allocated - ibr.freed), Table::integer(ibr.scans)});
+                 Table::integer(ibr.live_blocks()),
+                 Table::integer(ibr.peak_unreclaimed), Table::integer(ibr.scans)});
     }
   }
   t.print();
   std::printf("\nexpected: small recl_freq bounds live blocks at the cost of scans;\n"
               "very large epoch_freq delays reclamation (coarser intervals).\n");
+
+  const std::string dir = bench::json_out_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_abl_reclamation.json";
+    if (json.write_file(path)) std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gate CI on bench throughput regressions.
+
+Compares the BENCH_*.json artifacts of the current run against a baseline
+directory (normally the previous successful run's `bench-json` artifact) and
+fails when any gated metric regressed by more than --threshold (default 30%,
+sized for smoke-scale noise on shared CI runners).
+
+Two artifact shapes exist (include/qc/bench_util/harness.hpp):
+
+  JsonSeries  {"bench", "scale", "metric", "points": [{"threads", "value"}],
+               "counters": {...}}   -> every point gates (throughput series);
+                                       counters are diagnostic, never gated.
+  JsonKv      {"bench", "scale", "values": {...}}
+                                    -> only keys prefixed "tput_" gate; the
+                                       rest (live_blocks_*, scans_*, ...) are
+                                       diagnostic context.
+
+All gated metrics are higher-is-better throughputs.
+
+Modes:
+  default    numeric gating — baseline and current came from the same runner
+             class (artifact handoff between CI runs).
+  --lenient  shape/presence gating only — used when falling back to the
+             committed bench/baseline/ snapshot, which was recorded on
+             different hardware, so absolute numbers are meaningless.  Still
+             fails if an artifact or a gated key disappeared (that is a
+             bench wiring regression, not noise).
+
+A markdown delta table is printed to stdout; pass --summary FILE (e.g.
+"$GITHUB_STEP_SUMMARY") to also append it there.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+
+def load_artifacts(directory: pathlib.Path):
+    """Map artifact filename -> parsed JSON for every BENCH_*.json present."""
+    artifacts = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            artifacts[path.name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: unreadable artifact {path}: {exc}")
+    return artifacts
+
+
+def gated_metrics(doc):
+    """Extract {metric_name: value} for the regression-gated metrics."""
+    metrics = {}
+    if "points" in doc:
+        for point in doc["points"]:
+            metrics[f"t{point['threads']}"] = float(point["value"])
+    if "values" in doc:
+        for key, value in doc["values"].items():
+            if key.startswith("tput_"):
+                metrics[key] = float(value)
+    return metrics
+
+
+def fmt(value):
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.3g}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="directory holding baseline BENCH_*.json files")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="directory holding this run's BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional drop (default 0.30)")
+    parser.add_argument("--lenient", action="store_true",
+                        help="presence/shape checks only (committed-baseline "
+                             "fallback: cross-hardware numbers don't compare)")
+    parser.add_argument("--summary", type=pathlib.Path, default=None,
+                        help="also append the markdown table to this file")
+    args = parser.parse_args()
+
+    for d in (args.baseline, args.current):
+        if not d.is_dir():
+            raise SystemExit(f"error: {d} is not a directory")
+
+    base = load_artifacts(args.baseline)
+    curr = load_artifacts(args.current)
+    if not base:
+        raise SystemExit(f"error: no BENCH_*.json artifacts in {args.baseline}")
+    if not curr:
+        raise SystemExit(f"error: no BENCH_*.json artifacts in {args.current}")
+
+    mode = "lenient (presence only)" if args.lenient else \
+        f"numeric (fail below -{args.threshold:.0%})"
+    rows = []
+    failures = []
+
+    for name in sorted(base):
+        if name not in curr:
+            failures.append(f"{name}: artifact missing from current run")
+            continue
+        base_metrics = gated_metrics(base[name])
+        curr_metrics = gated_metrics(curr[name])
+        for key in sorted(base_metrics):
+            bval = base_metrics[key]
+            if key not in curr_metrics:
+                failures.append(f"{name}:{key}: gated metric disappeared")
+                rows.append((name, key, bval, None, None, "missing"))
+                continue
+            cval = curr_metrics[key]
+            if args.lenient:
+                rows.append((name, key, bval, cval, None, "present"))
+                continue
+            if bval <= 0 or not math.isfinite(bval) or not math.isfinite(cval):
+                rows.append((name, key, bval, cval, None, "skipped"))
+                continue
+            delta = cval / bval - 1.0
+            if delta < -args.threshold:
+                failures.append(
+                    f"{name}:{key}: {fmt(bval)} -> {fmt(cval)} ({delta:+.1%})")
+                rows.append((name, key, bval, cval, delta, "REGRESSED"))
+            else:
+                rows.append((name, key, bval, cval, delta, "ok"))
+
+    new_artifacts = sorted(set(curr) - set(base))
+
+    lines = [f"### Bench regression check — {mode}", ""]
+    lines.append("| artifact | metric | baseline | current | delta | status |")
+    lines.append("|---|---|---:|---:|---:|---|")
+    for name, key, bval, cval, delta, status in rows:
+        lines.append("| {} | {} | {} | {} | {} | {} |".format(
+            name, key, fmt(bval),
+            fmt(cval) if cval is not None else "—",
+            f"{delta:+.1%}" if delta is not None else "—", status))
+    for name in new_artifacts:
+        lines.append(f"| {name} | — | — | — | — | new (unbaselined) |")
+    lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} failure(s):**")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append(f"All {len(rows)} gated metrics within threshold.")
+    report = "\n".join(lines) + "\n"
+
+    sys.stdout.write(report)
+    if args.summary is not None:
+        with open(args.summary, "a", encoding="utf-8") as f:
+            f.write(report)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,11 @@ struct Options {
   // the caps both keep the arithmetic inside 32 bits (an unclamped 2k or
   // power-of-two rounding used to overflow) and deny crafted serde images
   // unbounded allocations.
-  static constexpr std::uint32_t kMaxK = 1u << 22;           // 64k-item levels grid
+  static constexpr std::uint32_t kMaxK = 1u << 22;           // k-item level blocks
   static constexpr std::uint32_t kMaxRho = 64;               // buffers per node
   static constexpr std::uint32_t kMaxNodes = 64;             // NUMA nodes
   static constexpr std::uint32_t kMaxInstallQueue = 1u << 12;  // 2k-item cells
+  static constexpr std::uint32_t kMaxIbrFreq = 1u << 20;       // IBR cadence cap
 
   std::uint32_t k = 4096;  // summary size: each level array holds k items
   std::uint32_t b = 16;    // per-thread local buffer (elements moved per F&A)
@@ -48,6 +49,37 @@ struct Options {
   // bounds the ingest-to-query relaxation by install_queue * 2k elements.
   std::uint32_t install_queue = 0;
 
+  // Interval-based reclamation cadence for the elastic level blocks.  The
+  // ladder's k-item arrays are allocated on demand (not preallocated) and a
+  // rewritten slot's displaced block is RETIRED, not freed: it stays readable
+  // until no in-flight query snapshot can still reference it.  Two knobs
+  // govern the bookkeeping, both counted at the install latch holder:
+  //
+  //   * ibr_epoch_freq — advance the global reclamation epoch once every this
+  //     many block allocations.  Coarser epochs (larger values) mean cheaper
+  //     bookkeeping but blocks stay unreclaimable longer, raising the peak
+  //     retire-list size (ibr_stats().peak_unreclaimed).
+  //   * ibr_recl_freq — run a reclamation scan (compare every retired block's
+  //     retire epoch against all announced reader epochs, free the safe ones)
+  //     once every this many retirements.  Smaller values bound the live
+  //     block count tighter at the cost of more scans (ibr_stats().scans).
+  //
+  // Clamped to [1, kMaxIbrFreq]: 0 would never advance/scan (an unbounded
+  // retire list), and values past the cap are indistinguishable from "never"
+  // at any realistic stream length.  The abl_reclamation bench sweeps both.
+  std::uint32_t ibr_epoch_freq = 16;
+  std::uint32_t ibr_recl_freq = 64;
+
+  // Ablation control arm (§5.5, abl_propagation): serialize every owner duty
+  // — Gather&Sort batch formation, install enqueue, and the propagation drain
+  // — behind one global lock, re-creating FCDS's single-propagation-thread
+  // bottleneck inside Quancurrent.  Updaters still fill local and gather
+  // buffers concurrently (as FCDS workers do); only the batch-update +
+  // propagation stage is serialized.  Queriers are unaffected and stay
+  // wait-free.  Single-threaded ingestion is bit-identical to the default
+  // path (tested); leave this off outside the ablation.
+  bool serialize_propagation = false;
+
   bool collect_stats = false;
   std::uint64_t seed = 0x5eed5eed5eed5eedULL;
   numa::Topology topology = numa::Topology::single_node();
@@ -66,8 +98,9 @@ struct Options {
   // Clamps fields into the ranges the engine supports and returns the list
   // of rewrites applied: k >= 2, rho >= 1, b adjusted down to the nearest
   // divisor of the 2k batch size so that F&A reservations always tile the
-  // gather buffer exactly, install_combine in [1, 256], and install_queue
-  // rounded up to a power of two large enough to hold one full drain group.
+  // gather buffer exactly, install_combine in [1, 256], both IBR cadences in
+  // [1, kMaxIbrFreq], and install_queue rounded up to a power of two large
+  // enough to hold one full drain group.
   // Normalizing already-normalized options applies (and returns) nothing.
   std::vector<Adjustment> normalize() {
     std::vector<Adjustment> log;
@@ -103,6 +136,22 @@ struct Options {
     if (install_combine > 256) {
       adjust("install_combine", install_combine, 256,
              "install_combine <= 256 (bounded latch hold)");
+    }
+    if (ibr_epoch_freq == 0) {
+      adjust("ibr_epoch_freq", ibr_epoch_freq, 1,
+             "ibr_epoch_freq >= 1 (0 would never advance the epoch)");
+    }
+    if (ibr_epoch_freq > kMaxIbrFreq) {
+      adjust("ibr_epoch_freq", ibr_epoch_freq, kMaxIbrFreq,
+             "ibr_epoch_freq <= 2^20 (coarser epochs never reclaim)");
+    }
+    if (ibr_recl_freq == 0) {
+      adjust("ibr_recl_freq", ibr_recl_freq, 1,
+             "ibr_recl_freq >= 1 (0 would never scan the retire list)");
+    }
+    if (ibr_recl_freq > kMaxIbrFreq) {
+      adjust("ibr_recl_freq", ibr_recl_freq, kMaxIbrFreq,
+             "ibr_recl_freq <= 2^20 (rarer scans never reclaim)");
     }
     if (install_queue > kMaxInstallQueue) {
       // Also keeps the power-of-two rounding below from overflowing (an

@@ -34,21 +34,44 @@
 // reservation simply lands in a future ordinal and the thread waits for that
 // ordinal to open.
 //
-// Publication protocol.  The levels array is a preallocated grid of k-sized
-// slots.  A single-batch install only writes slots that the currently
-// published tritmap marks empty, then flips the tritmap old -> new with one
-// CAS, so a query that loads the tritmap sees a fully consistent levels
-// description.  Queries re-validate the install sequence number after
+// Elastic levels.  The ladder is NOT a preallocated grid: each (level, slot)
+// is an atomic pointer to a dynamically allocated, immutable k-item
+// LevelBlock.  A cascade that writes a slot fills a FRESH block (plain
+// stores, invisible until publication), publishes it with one pointer store,
+// and RETIRES the displaced block — published blocks are never mutated, so a
+// querier that reached a block through its pointer can copy it without ever
+// observing a torn run.  Construction allocates no level storage at all:
+// blocks appear as the stream grows (under the install latch, which is the
+// only allocation/retirement site) and disappear through reclamation, so
+// small tenants stay small and quiesce() can hand memory back.
+//
+// Interval-based reclamation (IBR).  Retired blocks stay readable until no
+// in-flight query snapshot can still reference them.  Blocks are tagged with
+// birth/retire epochs from a global epoch counter that the latch holder
+// advances every Options::ibr_epoch_freq allocations; updater and querier
+// handles announce the epoch they entered a read region at in per-handle
+// reservation slots.  Every Options::ibr_recl_freq retirements the latch
+// holder scans the announcements and frees exactly the retired blocks whose
+// retire epoch precedes every announced epoch (into a bounded reuse pool
+// first, the allocator after).  Queriers never block on growth OR
+// reclamation: they announce, load epoch-validated pointer snapshots, copy,
+// and clear — wait-free throughout.  ibr_stats() exposes the counters the
+// abl_reclamation ablation sweeps.
+//
+// Publication protocol.  A single-batch install only writes slots that the
+// currently published tritmap marks empty, then flips the tritmap old -> new
+// with one CAS, so a query that loads the tritmap sees a fully consistent
+// levels description.  Queries re-validate the install sequence number after
 // copying; if an install raced past them they retry, and after a bounded
 // number of attempts they accept the snapshot and report the affected arrays
 // as holes (counted, never crashed on), mirroring the paper's hole analysis
-// (§4.1).  A combined (multi-batch) group may additionally need to rewrite a
-// slot the published tritmap still marks occupied (a later batch refills a
+// (§4.1).  A combined (multi-batch) group may additionally need to republish
+// a slot the published tritmap still marks occupied (a later batch refills a
 // level an earlier batch of the same group consumed); those groups flip
-// install_seq_ odd for the duration of the dangerous writes, seqlock-style,
-// so a querier can never validate a copy window that overlapped them —
-// single-batch groups never enter the odd phase and remain wait-free for
-// queriers, exactly as before.
+// install_seq_ odd for the duration of the dangerous publications,
+// seqlock-style, so a querier can never validate a copy window that
+// overlapped them — single-batch groups never enter the odd phase and remain
+// wait-free for queriers, exactly as before.
 //
 // Query engine.  Every published level slot is a sorted k-run (the KLL
 // compactor invariant), so a snapshot is a set of sorted runs, not a bag of
@@ -123,10 +146,103 @@ struct Stats {
   }
 };
 
+// Counters behind Quancurrent::ibr_stats() — the observable surface of the
+// interval-based reclamation scheme (see the file comment) and the axes the
+// abl_reclamation ablation sweeps.  Every field is monotonic; live_blocks()
+// is the derived point-in-time holding.
+struct IbrStats {
+  std::uint64_t epochs = 0;     // global reclamation-epoch advances
+  std::uint64_t allocated = 0;  // LevelBlocks obtained from the allocator
+  std::uint64_t reused = 0;     // block requests served by the reuse pool
+  std::uint64_t retired = 0;    // blocks unpublished onto the retire list
+  std::uint64_t reclaimed = 0;  // blocks proven safe and taken off it
+  std::uint64_t freed = 0;      // blocks returned to the allocator
+  std::uint64_t scans = 0;      // reclamation scans (announcement sweeps)
+  std::uint64_t peak_unreclaimed = 0;  // largest retire-list size ever seen
+
+  // Blocks the sketch currently holds (published + retired + reuse pool).
+  std::uint64_t live_blocks() const { return allocated - freed; }
+};
+
 template <typename T, typename Compare = std::less<T>>
 class Quancurrent {
   static_assert(std::is_trivially_copyable_v<T>,
                 "hole-tolerant snapshots require trivially copyable items");
+
+  // ----- IBR plumbing, declared early: the handle classes below embed it --
+
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+  static constexpr std::size_t kIbrSlotsPerChunk = 32;
+  static constexpr std::size_t kFreeListCap = 64;  // reuse-pool bound
+
+  // One published k-item run.  Immutable once its pointer is published;
+  // birth/retire epochs bound its reclamation interval.  (The conservative
+  // free rule below only consults retire_epoch; birth_epoch is kept for
+  // diagnostics and the full interval-overlap variant.)
+  struct LevelBlock {
+    explicit LevelBlock(std::uint32_t k) : items(k) {}
+    std::uint64_t birth_epoch = 0;
+    std::uint64_t retire_epoch = 0;
+    std::vector<T> items;
+  };
+
+  // One per-handle epoch announcement slot.  `announced` is the epoch the
+  // handle's current read region entered at (kIdleEpoch when quiescent);
+  // `in_use` is slot ownership, recycled across handle lifetimes.
+  struct IbrSlot {
+    alignas(64) std::atomic<std::uint64_t> announced{kIdleEpoch};
+    std::atomic<bool> in_use{false};
+  };
+
+  // Announcement slots live in a lock-free grow-only chunk list, allocated
+  // lazily (a sketch nobody made handles for pays nothing) and recycled via
+  // in_use, so handle churn does not grow the list without bound.
+  struct IbrSlotChunk {
+    std::array<IbrSlot, kIbrSlotsPerChunk> slots;
+    std::atomic<IbrSlotChunk*> next{nullptr};
+  };
+
+  // RAII ownership of one announcement slot for a handle's lifetime; movable
+  // so the Updater/Querier handles stay movable.
+  class IbrSlotLease {
+   public:
+    explicit IbrSlotLease(Quancurrent& sketch) : slot_(sketch.acquire_ibr_slot()) {}
+    IbrSlotLease(const IbrSlotLease&) = delete;
+    IbrSlotLease& operator=(const IbrSlotLease&) = delete;
+    IbrSlotLease(IbrSlotLease&& other) noexcept
+        : slot_(std::exchange(other.slot_, nullptr)) {}
+    IbrSlotLease& operator=(IbrSlotLease&&) = delete;
+    ~IbrSlotLease() {
+      if (slot_ != nullptr) {
+        slot_->announced.store(kIdleEpoch, std::memory_order_seq_cst);
+        slot_->in_use.store(false, std::memory_order_release);
+      }
+    }
+    IbrSlot* slot() const { return slot_; }
+
+   private:
+    IbrSlot* slot_ = nullptr;
+  };
+
+  // Scoped epoch announcement: pins the reclamation epoch for one read
+  // region (a query snapshot).  Two stores; never blocks.
+  class IbrPin {
+   public:
+    IbrPin(Quancurrent& sketch, IbrSlot* slot) : slot_(slot) {
+      // seq_cst load + store: the announcement must precede this handle's
+      // subsequent slot-pointer loads in the single total order — that
+      // ordering is what lets the reclaimer's scan prove the handle visible
+      // (see the IBR section of the file comment).
+      slot_->announced.store(sketch.ibr_epoch_.load(std::memory_order_seq_cst),
+                             std::memory_order_seq_cst);
+    }
+    IbrPin(const IbrPin&) = delete;
+    IbrPin& operator=(const IbrPin&) = delete;
+    ~IbrPin() { slot_->announced.store(kIdleEpoch, std::memory_order_seq_cst); }
+
+   private:
+    IbrSlot* slot_;
+  };
 
  public:
   using value_type = T;
@@ -138,7 +254,11 @@ class Quancurrent {
     if (opts_.collect_stats) Options::report(adjustments);
     cap_ = 2 * static_cast<std::uint64_t>(opts_.k);
     presort_ = opts_.presort_chunks && cap_ % opts_.b == 0;
-    levels_.assign(static_cast<std::size_t>(kPreallocLevels) * 2 * opts_.k, T{});
+    // No level storage here: the elastic ladder allocates blocks on demand
+    // (alloc_block).  Only the reclamation bookkeeping is pre-reserved so
+    // retire_block rarely reallocates under the install latch.
+    retired_.reserve(256);
+    free_blocks_.reserve(kFreeListCap);
     scratch_.resize(cap_);
     rng_ = Xoshiro256(opts_.seed);
     install_q_ = std::make_unique<InstallCell[]>(opts_.install_queue);
@@ -159,6 +279,25 @@ class Quancurrent {
   Quancurrent(const Quancurrent&) = delete;
   Quancurrent& operator=(const Quancurrent&) = delete;
 
+  // Every block (published, retired, or pooled) and every announcement chunk
+  // is owned by the sketch.  The convenience handles are torn down FIRST:
+  // the updater drains into the tail and both release announcement slots
+  // that live inside the chunks deleted below.  External handles must not
+  // outlive the sketch (they hold a raw back-pointer already).
+  ~Quancurrent() {
+    self_querier_.reset();
+    self_updater_.reset();
+    for (auto& ref : slot_blocks_) delete ref.load(std::memory_order_relaxed);
+    for (LevelBlock* b : retired_) delete b;
+    for (LevelBlock* b : free_blocks_) delete b;
+    IbrSlotChunk* c = ibr_chunks_.load(std::memory_order_relaxed);
+    while (c != nullptr) {
+      IbrSlotChunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+
   const Options& options() const { return opts_; }
 
   // ----- ingestion ---------------------------------------------------------
@@ -168,6 +307,7 @@ class Quancurrent {
    public:
     Updater(Quancurrent& sketch, std::uint32_t thread_index)
         : sketch_(&sketch),
+          lease_(sketch),
           node_(sketch.opts_.topology.node_of(thread_index)),
           b_(sketch.opts_.b),
           presort_(sketch.presort_),
@@ -180,6 +320,7 @@ class Quancurrent {
     Updater& operator=(const Updater&) = delete;
     Updater(Updater&& other) noexcept
         : sketch_(std::exchange(other.sketch_, nullptr)),
+          lease_(std::move(other.lease_)),
           node_(other.node_),
           b_(other.b_),
           presort_(other.presort_),
@@ -207,7 +348,7 @@ class Quancurrent {
       const std::size_t n = vs.size();
       while (i < n) {
         if (count_ == 0 && !presort_ && n - i >= b_) {
-          sketch_->flush_chunk(node_, vs.data() + i, b_);
+          sketch_->flush_chunk(node_, vs.data() + i, b_, lease_.slot());
           i += b_;
           continue;
         }
@@ -244,17 +385,18 @@ class Quancurrent {
           }
           merger_.merge(std::span<const T>(local_), 16, std::span<T>(sorted_),
                         sketch_->cmp_);
-          sketch_->flush_chunk(node_, sorted_.data(), b_);
+          sketch_->flush_chunk(node_, sorted_.data(), b_, lease_.slot());
           count_ = 0;
           return;
         }
         batch_sort(std::span<T>(local_), sort_aux_, sketch_->cmp_);
       }
-      sketch_->flush_chunk(node_, local_.data(), b_);
+      sketch_->flush_chunk(node_, local_.data(), b_, lease_.slot());
       count_ = 0;
     }
 
     Quancurrent* sketch_;
+    IbrSlotLease lease_;  // this handle's epoch announcement slot
     std::uint32_t node_;
     std::uint32_t b_;
     bool presort_;
@@ -269,22 +411,19 @@ class Quancurrent {
   Updater make_updater(std::uint32_t thread_index) { return Updater(*this, thread_index); }
 
   // Flushes partially filled gather buffers, drains batches still parked in
-  // the install queue, and compacts the tail into full batches.
+  // the install queue, compacts the tail into full batches, and hands
+  // reclaimable level blocks back to the allocator.
   // Precondition: no concurrent update() calls (updaters must have drained);
-  // concurrent queries are fine.  Updaters only return from a flush once
-  // their batch is installed, so with the precondition held the install
-  // queue can be non-empty here only via enqueue_batch(); the drain below
-  // plus the head==tail assert both handle that case and document the
-  // precondition — a queue that stays non-empty means an updater is still
-  // live and quiesce() was entered too early.
+  // concurrent queries are fine.  No head==tail assert after the drain: a
+  // concurrent merge_into() targeting this sketch may legitimately enqueue
+  // (and self-drain) install_run batches at any moment, so queue equality
+  // here could fail spuriously without any precondition violation — the
+  // drain below already published everything that was parked when we looked.
   void quiesce() {
     // The convenience updater belongs to the sketch, so quiesce() may (and
     // must) drain it: its buffered items are otherwise unreachable here.
     if (self_updater_ != nullptr) self_updater_->drain();
     drain_installs();
-    assert(install_head_.load(std::memory_order_acquire) ==
-               install_tail_.load(std::memory_order_acquire) &&
-           "quiesce() requires all concurrent updaters to have returned");
     for (auto& node : nodes_) {
       for (auto& gb : node->bufs) {
         const std::uint64_t committed = gb->committed.load(std::memory_order_acquire);
@@ -300,20 +439,48 @@ class Quancurrent {
         gb->ordinal.fetch_add(1, std::memory_order_release);
       }
     }
-    std::lock_guard<std::mutex> lock(tail_mu_);
-    if (tail_.size() >= cap_) {
-      std::sort(tail_.begin(), tail_.end(), cmp_);
-      const std::size_t full = tail_.size() - tail_.size() % cap_;
-      for (std::size_t off = 0; off < full; off += cap_) {
-        // Subtract from the tail before publishing the batch so a concurrent
-        // size() never counts these elements twice (it may transiently
-        // undercount, which bounded relaxation already permits).
-        tail_size_.fetch_sub(cap_, std::memory_order_acq_rel);
-        install_batch(std::span<const T>(tail_.data() + off, cap_));
+    {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      if (tail_.size() >= cap_) {
+        std::sort(tail_.begin(), tail_.end(), cmp_);
+        const std::size_t full = tail_.size() - tail_.size() % cap_;
+        for (std::size_t off = 0; off < full; off += cap_) {
+          // Subtract from the tail before publishing the batch so a
+          // concurrent size() never counts these elements twice (it may
+          // transiently undercount, which bounded relaxation already
+          // permits).
+          tail_size_.fetch_sub(cap_, std::memory_order_acq_rel);
+          install_batch(std::span<const T>(tail_.data() + off, cap_));
+        }
+        tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(full));
+        tail_version_.fetch_add(1, std::memory_order_release);
       }
-      tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(full));
-      tail_version_.fetch_add(1, std::memory_order_release);
     }
+    // Give memory back.  Unpublish every slot the published tritmap no
+    // longer references (cascades leave consumed slots published so lagging
+    // queriers can still copy them; quiesce is where they are let go), then
+    // scan, then return the reuse pool to the allocator.  Afterwards — with
+    // no reader mid-snapshot — ibr_stats().live_blocks() equals the number
+    // of tritmap-referenced runs exactly (the eventual-reclamation test's
+    // invariant).
+    Backoff backoff;
+    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    const Tritmap tm = tritmap_.load(std::memory_order_relaxed);
+    for (std::uint32_t level = 0; level < kLevels; ++level) {
+      for (std::uint32_t slot = tm.trit(level); slot < 2; ++slot) {
+        LevelBlock* old = slot_block(level, slot).load(std::memory_order_relaxed);
+        if (old == nullptr) continue;
+        slot_block(level, slot).store(nullptr, std::memory_order_seq_cst);
+        retire_block(old);
+      }
+    }
+    ibr_scan();
+    for (LevelBlock* b : free_blocks_) {
+      delete b;
+      ibr_freed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    free_blocks_.clear();
+    latch_.clear(std::memory_order_release);
   }
 
   // ----- introspection -----------------------------------------------------
@@ -324,7 +491,7 @@ class Quancurrent {
            tail_size_.load(std::memory_order_acquire);
   }
 
-  // Items physically retained in the levels array and tail.
+  // Items physically retained in the published level blocks and tail.
   std::uint64_t retained() const {
     const Tritmap tm = tritmap_.load(std::memory_order_acquire);
     std::uint64_t r = tail_size_.load(std::memory_order_acquire);
@@ -347,6 +514,22 @@ class Quancurrent {
     s.installs = stat_installs_.load(std::memory_order_relaxed);
     s.combined_installs = stat_combined_installs_.load(std::memory_order_relaxed);
     s.max_combine = stat_max_combine_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Reclamation counters (always collected; the bookkeeping is a handful of
+  // relaxed adds on the latch holder's path).  Thread-safe; under concurrent
+  // ingestion the fields are individually, not mutually, consistent.
+  IbrStats ibr_stats() const {
+    IbrStats s;
+    s.epochs = ibr_epochs_.load(std::memory_order_relaxed);
+    s.allocated = ibr_allocated_.load(std::memory_order_relaxed);
+    s.reused = ibr_reused_.load(std::memory_order_relaxed);
+    s.retired = ibr_retired_.load(std::memory_order_relaxed);
+    s.reclaimed = ibr_reclaimed_.load(std::memory_order_relaxed);
+    s.freed = ibr_freed_.load(std::memory_order_relaxed);
+    s.scans = ibr_scans_.load(std::memory_order_relaxed);
+    s.peak_unreclaimed = ibr_peak_unreclaimed_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -377,9 +560,13 @@ class Quancurrent {
   // install_run() calls plus a push_tail() of its weight-1 residue.
   // Thread-safe against concurrent updaters, queriers, and other installs.
   void install_run(std::uint32_t level, std::span<const T> run) {
-    assert(level >= 1 && level < kPreallocLevels);
+    assert(level >= 1 && level < kLevels);
     assert(run.size() == opts_.k);
     assert(std::is_sorted(run.begin(), run.end(), cmp_));
+    std::unique_lock<std::mutex> serialized;
+    if (opts_.serialize_propagation) {
+      serialized = std::unique_lock<std::mutex>(prop_mu_);
+    }
     const std::uint64_t pos = acquire_cell();
     InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
     std::memcpy(cell.items.data(), run.data(), opts_.k * sizeof(T));
@@ -427,7 +614,7 @@ class Quancurrent {
   class Querier {
    public:
     explicit Querier(Quancurrent& sketch)
-        : sketch_(&sketch), cache_(kPreallocLevels) {
+        : sketch_(&sketch), lease_(sketch), cache_(kLevels) {
       refresh();
     }
 
@@ -482,12 +669,19 @@ class Quancurrent {
     // same level within one combined group are distinguishable).
     struct LevelCache {
       std::uint64_t epoch = kNever;
-      std::uint32_t trit = 0;
-      std::vector<T> runs;  // trit sorted k-runs, slot-major
+      std::uint32_t trit = 0;    // trit the copy was made under
+      std::uint32_t copied = 0;  // runs actually copied (< trit on a racing
+                                 // shrink: the snapshot then fails validation)
+      std::vector<T> runs;       // copied sorted k-runs, slot-major
     };
 
     void refresh_impl(bool force_full) {
       auto& s = *sketch_;
+      // Pin the reclamation epoch across every snapshot attempt: the
+      // slot-block pointers collect_levels loads below stay dereferenceable
+      // until the pin clears (IBR, file comment).  Two stores — the query
+      // path never blocks on growth or reclamation.
+      const IbrPin pin(s, lease_.slot());
       holes_ = 0;
       Backoff backoff;
       for (std::uint32_t attempt = 0;; ++attempt) {
@@ -557,13 +751,12 @@ class Quancurrent {
 
     // Copies the occupied slots of every level the tritmap references,
     // skipping levels whose cached copy is still current.  The epoch is
-    // loaded (acquire) before the slot reads: a batch cascade publishes a
-    // level's epoch with a release store *after* writing its slots, so a
-    // cache entry tagged with epoch E always holds the fully written
-    // epoch-E contents whenever E is still the level's published epoch.  (A
-    // later cascade rewriting the level while we copy leaves our entry
-    // tagged with the OLD epoch and stores a new one, so the torn entry can
-    // never be reused.)
+    // loaded (acquire) before the pointer loads: a batch cascade publishes a
+    // level's epoch with a release store *after* publishing its block, so a
+    // cache entry tagged with epoch E always reflects the epoch-E
+    // publication whenever E is still the level's published epoch.  (A later
+    // cascade republishing the level while we copy leaves our entry tagged
+    // with the OLD epoch and stores a new one, so the entry is re-copied.)
     void collect_levels(Tritmap tm, bool force_full) {
       auto& s = *sketch_;
       const std::uint32_t k = s.opts_.k;
@@ -573,24 +766,34 @@ class Quancurrent {
         const std::uint64_t epoch =
             s.level_epoch_[level].load(std::memory_order_acquire);
         const std::uint32_t trit = tm.trit(level);
-        if (!force_full && c.epoch == epoch && c.trit == trit) continue;
-        c.runs.resize(static_cast<std::size_t>(trit) * k);
-        for (std::uint32_t slot = 0; slot < trit; ++slot) {
-          T* arr = s.slot_ptr(level, slot);
-          T* dst = c.runs.data() + static_cast<std::size_t>(slot) * k;
-          for (std::uint32_t i = 0; i < k; ++i) {
-            // Acquire load pairs with apply_cascade's release stores (free
-            // on x86/TSO).  If a combined install dangerously rewrites this
-            // slot under us, reading any rewritten value synchronizes with
-            // its store and therefore makes the installer's preceding odd
-            // seq flip visible to refresh_impl's re-check, which rejects
-            // the snapshot; a value that is merely stale is consistent with
-            // the tritmap we validated against.
-            dst[i] = std::atomic_ref<T>(arr[i]).load(std::memory_order_acquire);
-          }
+        if (!force_full && c.epoch == epoch && c.trit == trit &&
+            c.copied == trit) {
+          continue;
         }
+        c.runs.resize(static_cast<std::size_t>(trit) * k);
+        std::uint32_t copied = 0;
+        for (std::uint32_t slot = 0; slot < trit; ++slot) {
+          // seq_cst pointer load: in the single total order it follows this
+          // handle's epoch announcement, which is what lets the reclaimer's
+          // scan prove the block cannot be freed under us (IBR, file
+          // comment).  Published blocks are immutable, so the memcpy can
+          // never tear.  If the slot was dangerously republished, loading
+          // the NEW pointer makes the installer's preceding odd seq flip
+          // visible to refresh_impl's re-check (seq_cst store/load pair),
+          // which rejects the snapshot; loading the OLD pointer yields
+          // content consistent with the tritmap we validated against.
+          const LevelBlock* blk =
+              s.slot_block(level, slot).load(std::memory_order_seq_cst);
+          if (blk == nullptr) break;  // racing unpublish: this snapshot
+                                      // cannot validate, stop copying
+          std::memcpy(c.runs.data() + static_cast<std::size_t>(slot) * k,
+                      blk->items.data(), k * sizeof(T));
+          ++copied;
+        }
+        c.runs.resize(static_cast<std::size_t>(copied) * k);
         c.epoch = epoch;
         c.trit = trit;
+        c.copied = copied;
       }
     }
 
@@ -616,7 +819,7 @@ class Quancurrent {
       runs_.clear();
       for (std::uint32_t level = 1; level < top_level_; ++level) {
         const LevelCache& c = cache_[level];
-        const std::uint32_t trit = std::min(c.trit, tm.trit(level));
+        const std::uint32_t trit = std::min(c.copied, tm.trit(level));
         for (std::uint32_t slot = 0; slot < trit; ++slot) {
           runs_.push_back({c.runs.data() + static_cast<std::size_t>(slot) * k, k,
                            1ULL << level});
@@ -633,6 +836,7 @@ class Quancurrent {
     }
 
     Quancurrent* sketch_;
+    IbrSlotLease lease_;  // this handle's epoch announcement slot
     std::vector<LevelCache> cache_;
     std::uint32_t top_level_ = 0;
     std::vector<T> tail_buf_;
@@ -684,11 +888,11 @@ class Quancurrent {
   bool merge_into(Quancurrent& target) const {
     if (&target == this || target.opts_.k != opts_.k) return false;
     // Snapshot the installed ladder under the install latch: holding it
-    // stops any publish (only the latch holder writes levels_), so the copy
-    // is torn-free without touching the query path.  All updater flushes
-    // funnel through this latch, so nothing may allocate while it is held
-    // (drain_group's contract): reserve from a pre-latch tritmap guess and
-    // retry in the unlikely event the ladder grew past it meanwhile.
+    // stops any publish AND any reclamation (only the latch holder touches
+    // blocks), so reading through the slot pointers is safe and torn-free
+    // without touching the query path.  Keep the hold short — it stalls
+    // every installer: reserve from a pre-latch tritmap guess and retry in
+    // the unlikely event the ladder grew past it meanwhile.
     std::vector<T> run_items;
     std::vector<std::uint32_t> run_levels;
     const auto count_runs = [](Tritmap tm) {
@@ -702,7 +906,7 @@ class Quancurrent {
       // +4: headroom for installs cascading new levels while unlatched.
       const std::size_t reserved =
           std::min<std::size_t>(count_runs(tritmap_.load(std::memory_order_acquire)) + 4,
-                                2 * kPreallocLevels);
+                                2 * kLevels);
       run_items.reserve(reserved * opts_.k);
       run_levels.reserve(reserved);
       while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
@@ -775,10 +979,12 @@ class Quancurrent {
     Options o;
     std::uint8_t presort = 0;
     std::uint8_t stats = 0;
+    std::uint8_t serprop = 0;
     std::array<std::uint64_t, 4> rng_state{};
     std::uint64_t tritmap_raw = 0;
     if (!r.get(o.k) || !r.get(o.b) || !r.get(o.rho) || !r.get(presort) ||
         !r.get(stats) || !r.get(o.install_combine) || !r.get(o.install_queue) ||
+        !r.get(serprop) || !r.get(o.ibr_epoch_freq) || !r.get(o.ibr_recl_freq) ||
         !r.get(o.seed) || !r.get(o.topology.nodes) ||
         !r.get(o.topology.threads_per_node) || !r.get(rng_state) ||
         !r.get(tritmap_raw)) {
@@ -787,6 +993,7 @@ class Quancurrent {
     }
     o.presort_chunks = presort != 0;
     o.collect_stats = stats != 0;
+    o.serialize_propagation = serprop != 0;
     if (o.k < 2 || o.rho == 0 || o.topology.nodes == 0 ||
         !Options(o).validate().empty()) {
       // The image echoes normalized Options; anything normalize() would
@@ -799,7 +1006,7 @@ class Quancurrent {
       serde::set_status(status, serde::Status::bad_payload);
       return nullptr;
     }
-    for (std::uint32_t level = 0; level < kPreallocLevels; ++level) {
+    for (std::uint32_t level = 0; level < kLevels; ++level) {
       // Every published tritmap has all trits <= 1: a cascade always
       // compacts a filled (trit 2) level before publishing.  A crafted 2
       // would make a later ingest cascade write past the two slots, so it is
@@ -809,47 +1016,71 @@ class Quancurrent {
         return nullptr;
       }
     }
-    // Even capped options multiply into sizable preallocations; a blob
-    // demanding more memory than the process has must yield nullptr, not an
-    // escaping bad_alloc (the documented malformed-input contract).
+    // Allocation-budget pre-check.  The elastic ladder no longer
+    // preallocates, but install-queue cells and gather buffers are still
+    // 2k-item arrays (and the tail reserve matches the gather footprint), so
+    // a crafted image pairing near-maximal options with a near-empty payload
+    // used to demand gigabytes inside the constructor before the first
+    // payload byte was read — on overcommitting kernels an OOM kill, not a
+    // catchable bad_alloc.  A genuine image whose fixed footprint exceeds
+    // the budget floor carries a payload in some proportion to it (it was
+    // serialized by a process that could afford the sketch); demand that
+    // proportion of the remaining bytes before constructing anything.
+    const std::uint64_t implied_bytes =
+        (static_cast<std::uint64_t>(o.install_queue) +
+         2ull * o.topology.nodes * o.rho) *
+        (2ull * o.k) * sizeof(T);
+    if (implied_bytes > kDeserializeBudgetFloor &&
+        implied_bytes / kDeserializeBudgetSlack > r.remaining()) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return nullptr;
+    }
+    // The allocations below are bounded by the budget check (plus at most
+    // one level block past a truncated payload), but a malformed input must
+    // still yield nullptr, never an escaping bad_alloc (the documented
+    // contract).
     std::unique_ptr<Quancurrent> sk;
     try {
       sk = std::make_unique<Quancurrent>(o);
+      sk->rng_.set_state(rng_state);
+      const std::uint32_t top = tm.num_levels();
+      for (std::uint32_t level = 1; level < top; ++level) {
+        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+          LevelBlock* blk = sk->alloc_block();
+          // Store before reading the payload: on any failure below the
+          // sketch's destructor owns the block.
+          sk->slot_block(level, slot).store(blk, std::memory_order_relaxed);
+          if (!r.get_bytes(blk->items.data(), sk->opts_.k * sizeof(T))) {
+            serde::set_status(status, serde::Status::short_buffer);
+            return nullptr;
+          }
+        }
+        if (tm.trit(level) != 0) {
+          sk->level_epoch_[level].store(++sk->epoch_counter_,
+                                        std::memory_order_relaxed);
+        }
+      }
+      std::uint64_t tail_count = 0;
+      if (!r.get(tail_count)) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return nullptr;
+      }
+      // Division, not multiplication: a crafted tail_count must not overflow
+      // the bounds check and reach the resize below.
+      if (tail_count > r.remaining() / sizeof(T)) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return nullptr;
+      }
+      sk->tail_.resize(static_cast<std::size_t>(tail_count));
+      if (!r.get_bytes(sk->tail_.data(), sk->tail_.size() * sizeof(T))) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return nullptr;
+      }
+      sk->tail_size_.store(tail_count, std::memory_order_relaxed);
     } catch (const std::bad_alloc&) {
       serde::set_status(status, serde::Status::bad_payload);
       return nullptr;
     }
-    sk->rng_.set_state(rng_state);
-    const std::uint32_t top = tm.num_levels();
-    for (std::uint32_t level = 1; level < top; ++level) {
-      for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
-        if (!r.get_bytes(sk->slot_ptr(level, slot), sk->opts_.k * sizeof(T))) {
-          serde::set_status(status, serde::Status::short_buffer);
-          return nullptr;
-        }
-      }
-      if (tm.trit(level) != 0) {
-        sk->level_epoch_[level].store(++sk->epoch_counter_,
-                                      std::memory_order_relaxed);
-      }
-    }
-    std::uint64_t tail_count = 0;
-    if (!r.get(tail_count)) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return nullptr;
-    }
-    // Division, not multiplication: a crafted tail_count must not overflow
-    // the bounds check and reach the resize below.
-    if (tail_count > r.remaining() / sizeof(T)) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return nullptr;
-    }
-    sk->tail_.resize(static_cast<std::size_t>(tail_count));
-    if (!r.get_bytes(sk->tail_.data(), sk->tail_.size() * sizeof(T))) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return nullptr;
-    }
-    sk->tail_size_.store(tail_count, std::memory_order_relaxed);
     sk->tail_version_.store(1, std::memory_order_relaxed);
     sk->tritmap_.store(tm, std::memory_order_release);
     serde::set_status(status, serde::Status::ok);
@@ -860,7 +1091,13 @@ class Quancurrent {
   friend class Updater;
   friend class Querier;
 
-  static constexpr std::uint32_t kPreallocLevels = Tritmap::kMaxLevels;
+  static constexpr std::uint32_t kLevels = Tritmap::kMaxLevels;
+
+  // deserialize()'s allocation-budget heuristic: images whose options imply
+  // more than kDeserializeBudgetFloor bytes of fixed preallocation must
+  // carry at least 1/kDeserializeBudgetSlack of it as actual payload.
+  static constexpr std::uint64_t kDeserializeBudgetFloor = 1ull << 30;
+  static constexpr std::uint64_t kDeserializeBudgetSlack = 4096;
 
   // One Gather&Sort buffer.  All three counters are monotonic: reservation
   // position p belongs to ordinal p / cap, and a buffer serves ordinal o only
@@ -900,14 +1137,158 @@ class Quancurrent {
     std::vector<std::unique_ptr<Gather>> bufs;
   };
 
+  std::atomic<LevelBlock*>& slot_block(std::uint32_t level, std::uint32_t slot) {
+    assert(level < kLevels && slot < 2);
+    return slot_blocks_[static_cast<std::size_t>(level) * 2 + slot];
+  }
+
+  const std::atomic<LevelBlock*>& slot_block(std::uint32_t level,
+                                             std::uint32_t slot) const {
+    assert(level < kLevels && slot < 2);
+    return slot_blocks_[static_cast<std::size_t>(level) * 2 + slot];
+  }
+
+  // Writer-side view of a published slot's items; callers hold latch_, so
+  // the block cannot be retired (let alone reclaimed) underneath them.
+  // Queriers never use this — they take epoch-protected slot_block()
+  // pointer snapshots instead.
   T* slot_ptr(std::uint32_t level, std::uint32_t slot) {
-    assert(level < kPreallocLevels && slot < 2);
-    return levels_.data() + (static_cast<std::size_t>(level) * 2 + slot) * opts_.k;
+    LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
+    assert(b != nullptr);
+    return b->items.data();
   }
 
   const T* slot_ptr(std::uint32_t level, std::uint32_t slot) const {
-    assert(level < kPreallocLevels && slot < 2);
-    return levels_.data() + (static_cast<std::size_t>(level) * 2 + slot) * opts_.k;
+    const LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
+    assert(b != nullptr);
+    return b->items.data();
+  }
+
+  // ----- IBR: allocation, retirement, reclamation (latch_ held throughout,
+  // except acquire_ibr_slot which is lock-free) -----------------------------
+
+  // Hands out a block to fill: reuse pool first (proven-safe blocks, no
+  // allocator traffic), `new` otherwise.  Advances the global reclamation
+  // epoch every ibr_epoch_freq allocations and stamps the block's birth.
+  LevelBlock* alloc_block() {
+    LevelBlock* b;
+    if (!free_blocks_.empty()) {
+      b = free_blocks_.back();
+      free_blocks_.pop_back();
+      ibr_reused_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      b = new LevelBlock(opts_.k);
+      ibr_allocated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (++allocs_since_epoch_ >= opts_.ibr_epoch_freq) {
+      allocs_since_epoch_ = 0;
+      ibr_epoch_.fetch_add(1, std::memory_order_seq_cst);
+      ibr_epochs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    b->birth_epoch = ibr_epoch_.load(std::memory_order_relaxed);
+    b->retire_epoch = 0;
+    return b;
+  }
+
+  // Publishes a fully written block at (level, slot) and retires the block
+  // it displaces.  The seq_cst store participates in the reclamation-safety
+  // total order: a querier that announced its epoch before loading this
+  // pointer is guaranteed visible to any scan that could free the displaced
+  // block (file comment, IBR).
+  void publish_slot(std::uint32_t level, std::uint32_t slot, LevelBlock* nb) {
+    auto& ref = slot_block(level, slot);
+    LevelBlock* old = ref.load(std::memory_order_relaxed);
+    ref.store(nb, std::memory_order_seq_cst);
+    if (old != nullptr) retire_block(old);
+  }
+
+  // Moves a displaced block onto the retire list, stamped with the current
+  // epoch; runs a reclamation scan every ibr_recl_freq retirements.
+  void retire_block(LevelBlock* b) {
+    b->retire_epoch = ibr_epoch_.load(std::memory_order_relaxed);
+    retired_.push_back(b);
+    ibr_retired_.fetch_add(1, std::memory_order_relaxed);
+    if (retired_.size() > ibr_peak_unreclaimed_.load(std::memory_order_relaxed)) {
+      ibr_peak_unreclaimed_.store(retired_.size(), std::memory_order_relaxed);
+    }
+    if (++retires_since_scan_ >= opts_.ibr_recl_freq) {
+      retires_since_scan_ = 0;
+      ibr_scan();
+    }
+  }
+
+  // The oldest epoch any handle currently announces (kIdleEpoch when all
+  // are idle).  The announcement loads are seq_cst, like the announce
+  // stores and the caller's unpublishing pointer stores: in the seq_cst
+  // total order every reader either announced before this sweep reads its
+  // slot (the sweep sees the announcement) or announced after the unpublish
+  // (its subsequent seq_cst pointer load cannot return the retired block) —
+  // exactly the dichotomy the free rule in ibr_scan needs.  (A seq_cst
+  // fence + relaxed loads would do the same, but GCC's -Wtsan rejects
+  // fences under -fsanitize=thread, and scans are rare enough not to care.)
+  std::uint64_t min_announced_epoch() const {
+    std::uint64_t min_e = kIdleEpoch;
+    for (IbrSlotChunk* c = ibr_chunks_.load(std::memory_order_acquire);
+         c != nullptr; c = c->next.load(std::memory_order_acquire)) {
+      for (const IbrSlot& s : c->slots) {
+        const std::uint64_t e = s.announced.load(std::memory_order_seq_cst);
+        if (e < min_e) min_e = e;
+      }
+    }
+    return min_e;
+  }
+
+  // Reclamation scan: free every retired block whose retire epoch precedes
+  // all announced epochs.  A reader holding a pointer into block B announced
+  // an epoch a <= B's retire stamp r (it announced before loading the
+  // pointer, and the pointer was unpublished before r was stamped), so
+  // r < min_announced implies no reader can still hold B.  This is the
+  // conservative epoch rule of interval-based reclamation — the birth/retire
+  // interval tags support the finer overlap rule, but the conservative one
+  // already bounds the retire list by the scan cadence.
+  void ibr_scan() {
+    ibr_scans_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t min_e = min_announced_epoch();
+    std::size_t kept = 0;
+    for (LevelBlock* b : retired_) {
+      if (b->retire_epoch < min_e) {
+        if (free_blocks_.size() < kFreeListCap) {
+          free_blocks_.push_back(b);
+        } else {
+          delete b;
+          ibr_freed_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        retired_[kept++] = b;
+      }
+    }
+    ibr_reclaimed_.fetch_add(retired_.size() - kept, std::memory_order_relaxed);
+    retired_.resize(kept);
+  }
+
+  // Claims a free announcement slot, growing the chunk list when none is
+  // free.  Lock-free; called once per handle construction.
+  IbrSlot* acquire_ibr_slot() {
+    for (IbrSlotChunk* c = ibr_chunks_.load(std::memory_order_acquire);
+         c != nullptr; c = c->next.load(std::memory_order_acquire)) {
+      for (IbrSlot& s : c->slots) {
+        if (!s.in_use.load(std::memory_order_relaxed)) {
+          bool expected = false;
+          if (s.in_use.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+            return &s;
+          }
+        }
+      }
+    }
+    auto* fresh = new IbrSlotChunk;
+    fresh->slots[0].in_use.store(true, std::memory_order_relaxed);
+    IbrSlotChunk* head = ibr_chunks_.load(std::memory_order_relaxed);
+    do {
+      fresh->next.store(head, std::memory_order_relaxed);
+    } while (!ibr_chunks_.compare_exchange_weak(head, fresh,
+                                                std::memory_order_acq_rel));
+    return &fresh->slots[0];
   }
 
   // Emits the serde image; shared by serialize() and serialized_size() (the
@@ -922,6 +1303,9 @@ class Quancurrent {
     w.put(static_cast<std::uint8_t>(opts_.collect_stats ? 1 : 0));
     w.put(opts_.install_combine);
     w.put(opts_.install_queue);
+    w.put(static_cast<std::uint8_t>(opts_.serialize_propagation ? 1 : 0));
+    w.put(opts_.ibr_epoch_freq);
+    w.put(opts_.ibr_recl_freq);
     w.put(opts_.seed);
     w.put(opts_.topology.nodes);
     w.put(opts_.topology.threads_per_node);
@@ -962,7 +1346,17 @@ class Quancurrent {
   // merge of the buffer's pre-sorted b-chunks straight into an install-queue
   // cell), reopens the ordinal, and hands the batch to the combining
   // installer.
-  void flush_chunk(std::uint32_t node_idx, const T* items, std::uint32_t count) {
+  void flush_chunk(std::uint32_t node_idx, const T* items, std::uint32_t count,
+                   IbrSlot* slot = nullptr) {
+    // Updater-side epoch announcement (relaxed): a flush can end up holding
+    // the install latch and touching blocks, but the latch already excludes
+    // the reclaimer, so this is defense-in-depth that also keeps the
+    // abl_reclamation accounting honest about writer-side read regions.  A
+    // stale announcement only delays reclamation — the safe direction.
+    if (slot != nullptr) {
+      slot->announced.store(ibr_epoch_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
     Node& node = *nodes_[node_idx];
     const std::uint64_t gen = node.cur.load(std::memory_order_acquire);
     Gather& gb = *node.bufs[gen % opts_.rho];
@@ -990,6 +1384,15 @@ class Quancurrent {
       // the batch through the combining installer.
       std::uint64_t expected = gen;
       node.cur.compare_exchange_strong(expected, gen + 1, std::memory_order_acq_rel);
+      // Ablation arm (§5.5, abl_propagation): serialize every owner duty —
+      // batch formation, install enqueue, and the propagation drain — behind
+      // one global lock, emulating FCDS's single propagation thread.  The
+      // holder drains its own batch via drain_until, so the lock cannot
+      // deadlock against the queue's backpressure.
+      std::unique_lock<std::mutex> serialized;
+      if (opts_.serialize_propagation) {
+        serialized = std::unique_lock<std::mutex>(prop_mu_);
+      }
       const std::uint64_t cell_pos = acquire_cell();
       InstallCell& cell = install_q_[cell_pos & (opts_.install_queue - 1)];
       cell.level = 0;
@@ -1003,6 +1406,9 @@ class Quancurrent {
       gb.ordinal.store(ord + 1, std::memory_order_release);
       cell.seq.store(cell_pos + 1, std::memory_order_release);
       drain_until(cell_pos);
+    }
+    if (slot != nullptr) {
+      slot->announced.store(kIdleEpoch, std::memory_order_relaxed);
     }
   }
 
@@ -1021,6 +1427,10 @@ class Quancurrent {
   // Enqueues a sorted 2k batch and sees it through installation; the
   // quiesce/tail path (no gather buffer involved) and tests use this.
   void install_batch(std::span<const T> sorted_batch) {
+    std::unique_lock<std::mutex> serialized;
+    if (opts_.serialize_propagation) {
+      serialized = std::unique_lock<std::mutex>(prop_mu_);
+    }
     drain_until(enqueue_batch(sorted_batch));
   }
 
@@ -1049,12 +1459,12 @@ class Quancurrent {
   // single tritmap CAS and a single net install_seq_ advance of 2.
   //
   // Caller must hold latch_.  The latch serializes drainers, and protects
-  // exactly the pre-publication install state: the levels_ slots being
-  // written, scratch_, rng_ (the parity coins), epoch_counter_ /
-  // level_epoch_, install_head_, the tritmap_ CAS, and the install_seq_
-  // advance.  Nothing under the latch allocates (cells, scratch_, and the
-  // levels grid are preallocated), and the stats counters are updated by the
-  // caller's helpers only through relaxed atomics.
+  // exactly the pre-publication install state: the blocks being filled,
+  // scratch_, rng_ (the parity coins), epoch_counter_ / level_epoch_,
+  // install_head_, the tritmap_ CAS, and the install_seq_ advance — plus all
+  // block allocation, retirement, and reclamation (alloc_block /
+  // retire_block / ibr_scan are latch-holder-only).  The reuse pool keeps
+  // the common case allocation-free; stats counters are relaxed atomics.
   //
   // Seqlock phase: the first batch of a group starts from the published
   // tritmap, so (like the old single-batch installer) it only writes slots
@@ -1132,17 +1542,16 @@ class Quancurrent {
       tm = tm.after_batch_update();
     } else {
       // A cascade always ends with no trit at 2, so the entry level has a
-      // free slot; write the k-run there and cascade only if it fills.
+      // free slot; publish the k-run there and cascade only if it fills.
       const std::uint32_t dest_slot = tm.trit(entry_level);
       assert(dest_slot < 2);
+      LevelBlock* nb = alloc_block();
+      std::memcpy(nb->items.data(), items.data(), opts_.k * sizeof(T));
       if (!seq_odd && dest_slot < published.trit(entry_level)) {
         install_seq_.fetch_add(1, std::memory_order_relaxed);
         seq_odd = true;
       }
-      T* dest = slot_ptr(entry_level, dest_slot);
-      for (std::uint32_t i = 0; i < opts_.k; ++i) {
-        std::atomic_ref<T>(dest[i]).store(items[i], std::memory_order_release);
-      }
+      publish_slot(entry_level, dest_slot, nb);
       level_epoch_[entry_level].store(epoch, std::memory_order_release);
       tm = tm.with_trit(entry_level, dest_slot + 1);
       if (tm.trit(level) == 2) {
@@ -1154,35 +1563,33 @@ class Quancurrent {
     }
     while (tm.trit(level) == 2) {
       const std::uint32_t dest_level = level + 1;
-      if (dest_level >= kPreallocLevels) {
+      if (dest_level >= kLevels) {
         // Reaching here needs ~k * 2^33 elements; fail fast rather than
         // corrupt the heap.
-        std::fprintf(stderr, "qc::Quancurrent: levels array exhausted (k=%u too small "
+        std::fprintf(stderr, "qc::Quancurrent: level ladder exhausted (k=%u too small "
                              "for this stream length)\n", opts_.k);
         std::abort();
       }
       const std::uint32_t dest_slot = tm.trit(dest_level);
+      // Compact into a FRESH block with plain stores — it is invisible until
+      // the pointer publication below, and published blocks are immutable,
+      // so no per-item atomics are needed anywhere.
+      LevelBlock* nb = alloc_block();
+      const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
+      T* dest = nb->items.data();
+      for (std::uint32_t i = 0; i < opts_.k; ++i) dest[i] = source[2 * i + parity];
       if (!seq_odd && dest_slot < published.trit(dest_level)) {
-        // About to rewrite a slot queriers may be copying: enter the
-        // dangerous-write phase.  The flip itself can be relaxed — it
-        // happens-before every subsequent slot store (program order), and
-        // each slot store is a release paired with the querier's acquire
-        // copy loads, so any querier that reads even one dangerously
-        // written item observes the odd flip at its re-check and retries.
+        // About to republish a slot queriers may be copying: enter the
+        // dangerous-write phase.  The flip itself can be relaxed — it is
+        // sequenced before publish_slot's seq_cst pointer store, so any
+        // querier whose copy loaded the NEW pointer observes the flip at
+        // its re-check and retries (see Querier::collect_levels).
         install_seq_.fetch_add(1, std::memory_order_relaxed);
         seq_odd = true;
       }
-      T* dest = slot_ptr(dest_level, dest_slot);
-      const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
-      for (std::uint32_t i = 0; i < opts_.k; ++i) {
-        // Release store pairs with Querier::collect_levels' acquire loads:
-        // free on x86/TSO, and it carries the seqlock odd flip above to any
-        // querier that reads this value (see the odd-flip comment).
-        std::atomic_ref<T>(dest[i]).store(source[2 * i + parity],
-                                          std::memory_order_release);
-      }
-      // Release the level's new epoch only after its slot writes so that a
-      // querier reading this epoch (acquire) sees fully written runs; see
+      publish_slot(dest_level, dest_slot, nb);
+      // Release the level's new epoch only after its publication so that a
+      // querier reading this epoch (acquire) sees the new pointer; see
       // Querier::collect_levels.
       level_epoch_[dest_level].store(epoch, std::memory_order_release);
       tm = tm.after_install_propagation(level);
@@ -1204,15 +1611,37 @@ class Quancurrent {
 
   std::vector<std::unique_ptr<Node>> nodes_;
 
-  // Levels array: kPreallocLevels x 2 slots of k items, fixed storage so
-  // concurrent snapshot reads are always in-bounds.
-  std::vector<T> levels_;
+  // Elastic ladder: per-(level, slot) pointers to immutable k-item blocks,
+  // null until a cascade first publishes the slot.  See the file comment.
+  std::array<std::atomic<LevelBlock*>, static_cast<std::size_t>(kLevels) * 2>
+      slot_blocks_{};
   std::atomic<Tritmap> tritmap_{Tritmap(0)};
 
   // level_epoch_[l]: epoch_counter_ value of the last batch cascade that
   // wrote level l's slots (not merely cleared them).  Queriers use it to
   // reuse cached runs across refreshes; see Querier::collect_levels.
-  std::array<std::atomic<std::uint64_t>, kPreallocLevels> level_epoch_{};
+  std::array<std::atomic<std::uint64_t>, kLevels> level_epoch_{};
+
+  // ----- IBR state.  The vectors and cadence counters are latch-protected;
+  // the epoch, chunk list, and stat counters are atomics. --------------------
+  std::atomic<std::uint64_t> ibr_epoch_{1};
+  std::uint32_t allocs_since_epoch_ = 0;
+  std::uint32_t retires_since_scan_ = 0;
+  std::vector<LevelBlock*> retired_;      // unpublished, awaiting proof of safety
+  std::vector<LevelBlock*> free_blocks_;  // proven-safe reuse pool (bounded)
+  std::atomic<IbrSlotChunk*> ibr_chunks_{nullptr};
+  std::atomic<std::uint64_t> ibr_epochs_{0};
+  std::atomic<std::uint64_t> ibr_allocated_{0};
+  std::atomic<std::uint64_t> ibr_reused_{0};
+  std::atomic<std::uint64_t> ibr_retired_{0};
+  std::atomic<std::uint64_t> ibr_reclaimed_{0};
+  std::atomic<std::uint64_t> ibr_freed_{0};
+  std::atomic<std::uint64_t> ibr_scans_{0};
+  std::atomic<std::uint64_t> ibr_peak_unreclaimed_{0};
+
+  // serialize_propagation ablation arm: conditionally held around batch
+  // formation + install enqueue + propagation drain.  Queriers never take it.
+  std::mutex prop_mu_;
 
   // Bounded MPSC install hand-off queue; see InstallCell.  install_tail_ is
   // the producers' ticket counter, install_head_ the count of batches whose

@@ -231,6 +231,24 @@ class ShardedQuancurrent {
     return total;
   }
 
+  // Field-wise sum over shards (max for peak_unreclaimed: per-shard retire
+  // lists are independent, so the fleet-wide peak is the worst shard's).
+  IbrStats ibr_stats() const {
+    IbrStats total;
+    for (const auto& s : shards_) {
+      const IbrStats st = s->ibr_stats();
+      total.epochs += st.epochs;
+      total.allocated += st.allocated;
+      total.reused += st.reused;
+      total.retired += st.retired;
+      total.reclaimed += st.reclaimed;
+      total.freed += st.freed;
+      total.scans += st.scans;
+      total.peak_unreclaimed = std::max(total.peak_unreclaimed, st.peak_unreclaimed);
+    }
+    return total;
+  }
+
  private:
   std::vector<std::unique_ptr<Shard>> shards_;
 };

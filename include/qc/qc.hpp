@@ -56,6 +56,7 @@
 namespace qc {
 
 // Engine types under their public names.
+using core::IbrStats;
 using core::Options;
 using core::Quancurrent;
 using core::ShardedQuancurrent;

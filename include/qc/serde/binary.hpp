@@ -30,8 +30,13 @@
 namespace qc::serde {
 
 inline constexpr std::uint32_t kMagic = 0x4B534351u;  // "QCSK"
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;  // v2: concurrent images carry
+                                              // the IBR + propagation knobs
 inline constexpr std::uint16_t kEndianness = 0x0102;
+// What a reader on a machine of the other byte order sees in each field of a
+// blob written natively here (and vice versa).
+inline constexpr std::uint32_t kSwappedMagic = 0x5143534Bu;
+inline constexpr std::uint16_t kSwappedEndianness = 0x0201;
 
 enum class Engine : std::uint8_t {
   sequential = 1,  // sequential::QuantilesSketch
@@ -130,8 +135,13 @@ inline void write_header(Writer& w, Engine engine, std::uint8_t item_size) {
   w.put(std::uint16_t{0});  // reserved
 }
 
-// Consumes and validates the common header; the failure order (magic before
-// version before endianness) is part of the tested contract.
+// Consumes and validates the common header.  A foreign-byte-order blob is
+// detected FIRST — its magic is byte-swapped too, so a magic-first check
+// would misreport it as "not a sketch" and bad_endianness would be
+// unreachable (a historic bug, regression-tested).  The swapped-magic probe
+// recognizes foreign blobs even when only the magic survived truncation;
+// after that the order is magic before version before endianness (the last
+// catching a corrupted tag on an otherwise native blob).
 inline Status read_header(Reader& r, Engine expected_engine, std::uint8_t item_size) {
   std::uint32_t magic = 0;
   std::uint16_t version = 0;
@@ -140,6 +150,7 @@ inline Status read_header(Reader& r, Engine expected_engine, std::uint8_t item_s
   std::uint8_t isize = 0;
   std::uint16_t reserved = 0;
   if (!r.get(magic)) return Status::short_buffer;
+  if (magic == kSwappedMagic) return Status::bad_endianness;
   if (magic != kMagic) return Status::bad_magic;
   if (!r.get(version)) return Status::short_buffer;
   if (version != kVersion) return Status::bad_version;

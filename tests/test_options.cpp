@@ -129,6 +129,40 @@ QC_TEST(install_combine_clamps_into_range) {
   CHECK_EQ(hi.install_combine, 256u);
 }
 
+QC_TEST(ibr_frequencies_clamp_into_range) {
+  // Zero cadences would disable reclamation entirely (never advance the
+  // epoch / never scan); cadences past kMaxIbrFreq are equally pathological
+  // in the other direction.  Both ends clamp and report.
+  qc::core::Options lo;
+  lo.ibr_epoch_freq = 0;
+  lo.ibr_recl_freq = 0;
+  const auto llog = lo.normalize();
+  CHECK_EQ(lo.ibr_epoch_freq, 1u);
+  CHECK_EQ(lo.ibr_recl_freq, 1u);
+  CHECK(adjusted_to(llog, "ibr_epoch_freq", 1));
+  CHECK(adjusted_to(llog, "ibr_recl_freq", 1));
+
+  qc::core::Options hi;
+  hi.ibr_epoch_freq = 0xFFFFFFFFu;
+  hi.ibr_recl_freq = 0xFFFFFFFFu;
+  const auto hlog = hi.normalize();
+  CHECK_EQ(hi.ibr_epoch_freq, qc::core::Options::kMaxIbrFreq);
+  CHECK_EQ(hi.ibr_recl_freq, qc::core::Options::kMaxIbrFreq);
+  CHECK(adjusted_to(hlog, "ibr_epoch_freq", qc::core::Options::kMaxIbrFreq));
+  CHECK(adjusted_to(hlog, "ibr_recl_freq", qc::core::Options::kMaxIbrFreq));
+  CHECK(hi.validate().empty());
+}
+
+QC_TEST(serialize_propagation_is_not_a_clamped_field) {
+  // The ablation control arm is a pure boolean switch: normalize() neither
+  // rewrites nor reports it, in either position.
+  qc::core::Options o;
+  CHECK(!o.serialize_propagation);
+  o.serialize_propagation = true;
+  CHECK(o.normalize().empty());
+  CHECK(o.serialize_propagation);
+}
+
 QC_TEST(install_queue_auto_sizes_and_rounds_up) {
   // Auto (0): smallest power of two >= max(8, 2 * install_combine), sized
   // silently (an auto request is not a misconfiguration to report).

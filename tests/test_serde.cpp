@@ -1,6 +1,7 @@
 // Binary serde: round-trips are bit-identical for both engines, malformed
 // input (wrong magic/version/endianness, truncation) is rejected with the
 // precise status, and a deserialized sketch keeps ingesting correctly.
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <vector>
@@ -123,6 +124,63 @@ QC_TEST(deserialize_rejects_bad_magic_version_endianness) {
   CHECK(st == qc::serde::Status::bad_endianness);
 
   // Engine mismatch: a sequential image is not a concurrent sketch.
+  CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_payload);
+}
+
+QC_TEST(deserialize_diagnoses_byte_swapped_image) {
+  // A whole-image byte swap (foreign-endian writer) presents the magic in
+  // reverse byte order; the reader must diagnose bad_endianness — the
+  // actionable error — not bad_magic.  Historically unreachable: the magic
+  // comparison ran first and swallowed every swapped image.
+  qc::QuantilesSketch<double> sk(64);
+  for (int i = 0; i < 100; ++i) sk.update(static_cast<double>(i));
+  auto blob = serialize_of(sk);
+  std::reverse(blob.begin(), blob.begin() + 4);  // u32 magic, byte-swapped
+  qc::serde::Status st = qc::serde::Status::ok;
+  CHECK(!qc::QuantilesSketch<double>::deserialize(blob, &st).has_value());
+  CHECK(st == qc::serde::Status::bad_endianness);
+
+  qc::Quancurrent<double> ck(small_options(64, 8));
+  ck.update(1.0);
+  ck.quiesce();
+  auto cblob = serialize_of(ck);
+  std::reverse(cblob.begin(), cblob.begin() + 4);
+  CHECK(qc::Quancurrent<double>::deserialize(cblob, &st) == nullptr);
+  CHECK(st == qc::serde::Status::bad_endianness);
+}
+
+QC_TEST(concurrent_roundtrip_preserves_ibr_options) {
+  qc::Options o = small_options(64, 8);
+  o.serialize_propagation = true;
+  o.ibr_epoch_freq = 7;
+  o.ibr_recl_freq = 9;
+  qc::Quancurrent<double> sk(o);
+  for (int i = 0; i < 1'000; ++i) sk.update(static_cast<double>(i));
+  sk.quiesce();
+  auto back = qc::Quancurrent<double>::deserialize(serialize_of(sk));
+  CHECK(back != nullptr);
+  CHECK(back->options().serialize_propagation);
+  CHECK_EQ(back->options().ibr_epoch_freq, 7u);
+  CHECK_EQ(back->options().ibr_recl_freq, 9u);
+}
+
+QC_TEST(deserialize_rejects_unaffordable_preallocation) {
+  // k and install_queue both at their caps clear every per-field clamp, but
+  // together imply a ~quarter-terabyte fixed footprint (install-queue cells
+  // and gather buffers are 2k-item arrays).  A genuine image of such a
+  // sketch carries a payload in proportion; this few-hundred-byte blob must
+  // be rejected by the allocation-budget pre-check BEFORE the constructor
+  // reserves anything (historically an uncatchable OOM kill, not bad_alloc).
+  qc::Quancurrent<double> ck(small_options(64, 8));
+  ck.update(1.0);
+  ck.quiesce();
+  auto blob = serialize_of(ck);
+  const std::uint32_t max_k = qc::core::Options::kMaxK;
+  const std::uint32_t max_queue = qc::core::Options::kMaxInstallQueue;
+  std::memcpy(blob.data() + 12, &max_k, sizeof(max_k));          // k
+  std::memcpy(blob.data() + 30, &max_queue, sizeof(max_queue));  // install_queue
+  qc::serde::Status st = qc::serde::Status::ok;
   CHECK(qc::Quancurrent<double>::deserialize(blob, &st) == nullptr);
   CHECK(st == qc::serde::Status::bad_payload);
 }
