@@ -7,6 +7,7 @@
 // Env: QC_SCALE/QC_KEYS/QC_RUNS/QC_MAX_THREADS, QC_K, QC_B.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util/harness.hpp"
 #include "bench_util/workload.hpp"
@@ -30,34 +31,54 @@ int main() {
   // Keys follow the tput_/diagnostic split check_regression.py understands:
   // only tput_* keys gate; the IBR counters ride along as context.
   bench::JsonKv json("abl_reclamation", scale.name);
-  Table t({"epoch_freq", "recl_freq", "throughput", "live_blocks",
-           "peak_unreclaimed", "scans"});
+  Table t({"epoch_freq", "recl_freq", "cap", "throughput", "live_blocks",
+           "peak_unreclaimed", "scans", "forced", "throttles"});
+  // The 3×3 cadence sweep runs uncapped; a final arm repeats the default
+  // cadence with a tight ibr_retire_cap to measure what the bounded-memory
+  // response (forced scans, possible throttling) costs with healthy readers.
+  struct Arm {
+    std::uint64_t ef, rf;
+    std::uint32_t cap;
+  };
+  std::vector<Arm> arms;
   for (std::uint64_t ef : {4ull, 64ull, 1024ull}) {
     for (std::uint64_t rf : {4ull, 64ull, 1024ull}) {
-      core::Options o;
-      o.k = k;
-      o.b = b;
-      o.ibr_epoch_freq = static_cast<std::uint32_t>(ef);
-      o.ibr_recl_freq = static_cast<std::uint32_t>(rf);
-      core::Quancurrent<double> sk(o);
-      const double secs = bench::ingest_quancurrent(sk, data, threads);
-      const auto ibr = sk.ibr_stats();
-      const std::string tag =
-          "ef" + std::to_string(ef) + "_rf" + std::to_string(rf);
-      json.add("tput_" + tag, throughput(data.size(), secs));
-      json.add("live_blocks_" + tag, static_cast<double>(ibr.live_blocks()));
-      json.add("peak_unreclaimed_" + tag,
-               static_cast<double>(ibr.peak_unreclaimed));
-      json.add("scans_" + tag, static_cast<double>(ibr.scans));
-      t.add_row({Table::integer(ef), Table::integer(rf),
-                 Table::mops(throughput(data.size(), secs)),
-                 Table::integer(ibr.live_blocks()),
-                 Table::integer(ibr.peak_unreclaimed), Table::integer(ibr.scans)});
+      arms.push_back({ef, rf, 0});
     }
+  }
+  arms.push_back({64, 64, 64});  // kMinRetireCap: the tightest legal cap
+  for (const Arm& arm : arms) {
+    core::Options o;
+    o.k = k;
+    o.b = b;
+    o.ibr_epoch_freq = static_cast<std::uint32_t>(arm.ef);
+    o.ibr_recl_freq = static_cast<std::uint32_t>(arm.rf);
+    o.ibr_retire_cap = arm.cap;
+    core::Quancurrent<double> sk(o);
+    const double secs = bench::ingest_quancurrent(sk, data, threads);
+    const auto ibr = sk.ibr_stats();
+    std::string tag = "ef" + std::to_string(arm.ef) + "_rf" + std::to_string(arm.rf);
+    if (arm.cap != 0) tag += "_cap" + std::to_string(arm.cap);
+    json.add("tput_" + tag, throughput(data.size(), secs));
+    json.add("live_blocks_" + tag, static_cast<double>(ibr.live_blocks()));
+    json.add("peak_unreclaimed_" + tag,
+             static_cast<double>(ibr.peak_unreclaimed));
+    json.add("scans_" + tag, static_cast<double>(ibr.scans));
+    json.add("forced_scans_" + tag, static_cast<double>(ibr.forced_scans));
+    json.add("throttle_waits_" + tag, static_cast<double>(ibr.throttle_waits));
+    t.add_row({Table::integer(arm.ef), Table::integer(arm.rf),
+               Table::integer(arm.cap),
+               Table::mops(throughput(data.size(), secs)),
+               Table::integer(ibr.live_blocks()),
+               Table::integer(ibr.peak_unreclaimed), Table::integer(ibr.scans),
+               Table::integer(ibr.forced_scans),
+               Table::integer(ibr.throttle_waits)});
   }
   t.print();
   std::printf("\nexpected: small recl_freq bounds live blocks at the cost of scans;\n"
-              "very large epoch_freq delays reclamation (coarser intervals).\n");
+              "very large epoch_freq delays reclamation (coarser intervals);\n"
+              "the capped arm forces off-cadence scans but should not throttle\n"
+              "(throttles > 0 with healthy readers means the cap is too tight).\n");
 
   const std::string dir = bench::json_out_dir();
   if (!dir.empty()) {

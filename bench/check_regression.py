@@ -18,14 +18,26 @@ Two artifact shapes exist (include/qc/bench_util/harness.hpp):
 
 All gated metrics are higher-is-better throughputs.
 
+Asymmetric presence rules: anything in the current run but not the baseline
+is an ADDITION — reported as "new (unbaselined)" and never a failure, both
+for whole artifacts and for individual gated keys inside an existing
+artifact (a bench that grew a new thread point or tput_ key must not fail
+the gate that introduces it).  Anything in the baseline but missing from the
+current run is a bench wiring regression and fails, unless that exact
+artifact (or artifact:key) is named with --allow-removed in the same change
+that deletes it.
+
 Modes:
-  default    numeric gating — baseline and current came from the same runner
-             class (artifact handoff between CI runs).
-  --lenient  shape/presence gating only — used when falling back to the
-             committed bench/baseline/ snapshot, which was recorded on
-             different hardware, so absolute numbers are meaningless.  Still
-             fails if an artifact or a gated key disappeared (that is a
-             bench wiring regression, not noise).
+  default      numeric gating — baseline and current came from the same
+               runner class (artifact handoff between CI runs).
+  --lenient    shape/presence gating only — used when falling back to the
+               committed bench/baseline/ snapshot, which was recorded on
+               different hardware, so absolute numbers are meaningless.
+               Presence rules above still apply.
+  --self-test  run the comparison logic against built-in fixtures covering
+               every rule (regression, addition, removal, allow-removed,
+               lenient) and exit 0 iff all behave; registered as a ctest so
+               the gate itself cannot bit-rot.
 
 A markdown delta table is printed to stdout; pass --summary FILE (e.g.
 "$GITHUB_STEP_SUMMARY") to also append it there.
@@ -63,6 +75,8 @@ def gated_metrics(doc):
 
 
 def fmt(value):
+    if value is None:
+        return "—"
     if value >= 1e6:
         return f"{value / 1e6:.2f}M"
     if value >= 1e3:
@@ -70,20 +84,214 @@ def fmt(value):
     return f"{value:.3g}"
 
 
+def compare(base, curr, *, threshold, lenient, allow_removed):
+    """Core comparison. Returns (rows, failures).
+
+    rows: (artifact, metric, baseline_val, current_val, delta, status)
+    failures: human-readable strings; non-empty means the gate fails.
+    allow_removed: set of names — either "ARTIFACT" or "ARTIFACT:key" —
+    whose disappearance is an acknowledged removal, not a failure.
+    """
+    rows = []
+    failures = []
+
+    for name in sorted(base):
+        if name not in curr:
+            if name in allow_removed:
+                rows.append((name, "—", None, None, None, "removed (allowed)"))
+            else:
+                failures.append(f"{name}: artifact missing from current run "
+                                f"(pass --allow-removed {name} if intentional)")
+                rows.append((name, "—", None, None, None, "MISSING"))
+            continue
+        base_metrics = gated_metrics(base[name])
+        curr_metrics = gated_metrics(curr[name])
+        for key in sorted(base_metrics):
+            bval = base_metrics[key]
+            if key not in curr_metrics:
+                if f"{name}:{key}" in allow_removed or name in allow_removed:
+                    rows.append((name, key, bval, None, None,
+                                 "removed (allowed)"))
+                    continue
+                failures.append(
+                    f"{name}:{key}: gated metric disappeared "
+                    f"(pass --allow-removed {name}:{key} if intentional)")
+                rows.append((name, key, bval, None, None, "MISSING"))
+                continue
+            cval = curr_metrics[key]
+            if lenient:
+                rows.append((name, key, bval, cval, None, "present"))
+                continue
+            if bval <= 0 or not math.isfinite(bval) or not math.isfinite(cval):
+                rows.append((name, key, bval, cval, None, "skipped"))
+                continue
+            delta = cval / bval - 1.0
+            if delta < -threshold:
+                failures.append(
+                    f"{name}:{key}: {fmt(bval)} -> {fmt(cval)} ({delta:+.1%})")
+                rows.append((name, key, bval, cval, delta, "REGRESSED"))
+            else:
+                rows.append((name, key, bval, cval, delta, "ok"))
+        # Gated keys present only in the current run are additions the next
+        # baseline snapshot will pick up — report them so the table accounts
+        # for every metric, but never fail on them.
+        for key in sorted(set(curr_metrics) - set(base_metrics)):
+            rows.append((name, key, None, curr_metrics[key], None,
+                         "new (unbaselined)"))
+
+    for name in sorted(set(curr) - set(base)):
+        for key, cval in sorted(gated_metrics(curr[name]).items()):
+            rows.append((name, key, None, cval, None, "new (unbaselined)"))
+        if not gated_metrics(curr[name]):
+            rows.append((name, "—", None, None, None, "new (unbaselined)"))
+
+    return rows, failures
+
+
+def render(rows, failures, mode):
+    lines = [f"### Bench regression check — {mode}", ""]
+    lines.append("| artifact | metric | baseline | current | delta | status |")
+    lines.append("|---|---|---:|---:|---:|---|")
+    for name, key, bval, cval, delta, status in rows:
+        lines.append("| {} | {} | {} | {} | {} | {} |".format(
+            name, key, fmt(bval), fmt(cval),
+            f"{delta:+.1%}" if delta is not None else "—", status))
+    lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} failure(s):**")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        gated = sum(1 for r in rows if r[5] in ("ok", "present"))
+        lines.append(f"All {gated} gated metrics within threshold.")
+    return "\n".join(lines) + "\n"
+
+
+def self_test():
+    """Fixture-drive every comparison rule; exit 0 iff all hold."""
+    series = lambda *pts: {"bench": "b", "scale": "smoke", "metric": "tput",
+                           "points": [{"threads": t, "value": v}
+                                      for t, v in pts]}
+    kv = lambda **vals: {"bench": "b", "scale": "smoke", "values": vals}
+    base = {
+        "BENCH_a.json": series((1, 100.0), (4, 400.0)),
+        "BENCH_b.json": kv(tput_update=50.0, live_blocks=7),
+        "BENCH_gone.json": kv(tput_x=1.0),
+    }
+    checks = []
+
+    def expect(label, cond):
+        checks.append((label, bool(cond)))
+
+    def statuses(rows, name):
+        return [r[5] for r in rows if r[0] == name]
+
+    # 1. Clean run: identical dirs pass, nothing flagged.
+    rows, fails = compare(base, base, threshold=0.30, lenient=False,
+                          allow_removed=set())
+    expect("identical dirs pass", not fails)
+    expect("identical dirs all ok",
+           all(s == "ok" for r in rows for s in [r[5]]))
+
+    # 2. Regression beyond threshold fails; within threshold passes.
+    curr = dict(base)
+    curr["BENCH_a.json"] = series((1, 100.0), (4, 200.0))  # -50% at t4
+    rows, fails = compare(base, curr, threshold=0.30, lenient=False,
+                          allow_removed=set())
+    expect("regression fails", any("t4" in f for f in fails))
+    expect("regression row flagged", "REGRESSED" in statuses(rows, "BENCH_a.json"))
+    curr["BENCH_a.json"] = series((1, 100.0), (4, 320.0))  # -20% at t4
+    _, fails = compare(base, curr, threshold=0.30, lenient=False,
+                       allow_removed=set())
+    expect("within-threshold passes", not any("t4" in f for f in fails))
+
+    # 3. Additions never fail: new artifact AND new gated key in an existing
+    #    artifact both surface as "new (unbaselined)".
+    curr = dict(base)
+    curr["BENCH_a.json"] = series((1, 100.0), (4, 400.0), (8, 800.0))
+    curr["BENCH_b.json"] = kv(tput_update=50.0, tput_query=9.0, live_blocks=7)
+    curr["BENCH_new.json"] = kv(tput_fresh=3.0)
+    rows, fails = compare(base, curr, threshold=0.30, lenient=False,
+                          allow_removed=set())
+    expect("additions never fail", not fails)
+    expect("new thread point reported",
+           "new (unbaselined)" in statuses(rows, "BENCH_a.json"))
+    expect("new gated key reported",
+           "new (unbaselined)" in statuses(rows, "BENCH_b.json"))
+    expect("new artifact reported",
+           statuses(rows, "BENCH_new.json") == ["new (unbaselined)"])
+
+    # 4. Removals fail loudly...
+    curr = {k: v for k, v in base.items() if k != "BENCH_gone.json"}
+    curr["BENCH_b.json"] = kv(live_blocks=7)  # tput_update removed too
+    rows, fails = compare(base, curr, threshold=0.30, lenient=False,
+                          allow_removed=set())
+    expect("removed artifact fails", any("BENCH_gone.json" in f for f in fails))
+    expect("removed key fails", any("tput_update" in f for f in fails))
+    # ...unless explicitly acknowledged, per-artifact or per-key.
+    rows, fails = compare(base, curr, threshold=0.30, lenient=False,
+                          allow_removed={"BENCH_gone.json",
+                                         "BENCH_b.json:tput_update"})
+    expect("allow-removed suppresses both", not fails)
+    expect("allowed removals still reported",
+           "removed (allowed)" in statuses(rows, "BENCH_gone.json") and
+           "removed (allowed)" in statuses(rows, "BENCH_b.json"))
+
+    # 5. Lenient mode ignores numbers but still enforces presence.
+    curr = dict(base)
+    curr["BENCH_a.json"] = series((1, 1.0), (4, 1.0))  # catastrophic "drop"
+    _, fails = compare(base, curr, threshold=0.30, lenient=True,
+                       allow_removed=set())
+    expect("lenient ignores numbers", not fails)
+    del curr["BENCH_gone.json"]
+    _, fails = compare(base, curr, threshold=0.30, lenient=True,
+                       allow_removed=set())
+    expect("lenient still enforces presence", bool(fails))
+
+    # 6. Non-finite / zero baselines are skipped, not divided by.
+    weird_base = {"BENCH_w.json": kv(tput_zero=0.0, tput_nan=float("nan"))}
+    weird_curr = {"BENCH_w.json": kv(tput_zero=5.0, tput_nan=5.0)}
+    rows, fails = compare(weird_base, weird_curr, threshold=0.30,
+                          lenient=False, allow_removed=set())
+    expect("degenerate baselines skipped",
+           not fails and statuses(rows, "BENCH_w.json") == ["skipped"] * 2)
+
+    failed = [label for label, ok in checks if not ok]
+    for label, ok in checks:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+    if failed:
+        print(f"self-test: {len(failed)}/{len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", type=pathlib.Path,
+    parser.add_argument("baseline", type=pathlib.Path, nargs="?",
                         help="directory holding baseline BENCH_*.json files")
-    parser.add_argument("current", type=pathlib.Path,
+    parser.add_argument("current", type=pathlib.Path, nargs="?",
                         help="directory holding this run's BENCH_*.json files")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="max allowed fractional drop (default 0.30)")
     parser.add_argument("--lenient", action="store_true",
                         help="presence/shape checks only (committed-baseline "
                              "fallback: cross-hardware numbers don't compare)")
+    parser.add_argument("--allow-removed", action="append", default=[],
+                        metavar="ARTIFACT[:KEY]",
+                        help="acknowledge an intentional removal (repeatable); "
+                             "names a whole artifact file or one gated key")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in fixtures through the gate logic "
+                             "and exit (no directories needed)")
     parser.add_argument("--summary", type=pathlib.Path, default=None,
                         help="also append the markdown table to this file")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current directories are required "
+                     "(or use --self-test)")
 
     for d in (args.baseline, args.current):
         if not d.is_dir():
@@ -96,57 +304,12 @@ def main():
     if not curr:
         raise SystemExit(f"error: no BENCH_*.json artifacts in {args.current}")
 
+    rows, failures = compare(base, curr, threshold=args.threshold,
+                             lenient=args.lenient,
+                             allow_removed=set(args.allow_removed))
     mode = "lenient (presence only)" if args.lenient else \
         f"numeric (fail below -{args.threshold:.0%})"
-    rows = []
-    failures = []
-
-    for name in sorted(base):
-        if name not in curr:
-            failures.append(f"{name}: artifact missing from current run")
-            continue
-        base_metrics = gated_metrics(base[name])
-        curr_metrics = gated_metrics(curr[name])
-        for key in sorted(base_metrics):
-            bval = base_metrics[key]
-            if key not in curr_metrics:
-                failures.append(f"{name}:{key}: gated metric disappeared")
-                rows.append((name, key, bval, None, None, "missing"))
-                continue
-            cval = curr_metrics[key]
-            if args.lenient:
-                rows.append((name, key, bval, cval, None, "present"))
-                continue
-            if bval <= 0 or not math.isfinite(bval) or not math.isfinite(cval):
-                rows.append((name, key, bval, cval, None, "skipped"))
-                continue
-            delta = cval / bval - 1.0
-            if delta < -args.threshold:
-                failures.append(
-                    f"{name}:{key}: {fmt(bval)} -> {fmt(cval)} ({delta:+.1%})")
-                rows.append((name, key, bval, cval, delta, "REGRESSED"))
-            else:
-                rows.append((name, key, bval, cval, delta, "ok"))
-
-    new_artifacts = sorted(set(curr) - set(base))
-
-    lines = [f"### Bench regression check — {mode}", ""]
-    lines.append("| artifact | metric | baseline | current | delta | status |")
-    lines.append("|---|---|---:|---:|---:|---|")
-    for name, key, bval, cval, delta, status in rows:
-        lines.append("| {} | {} | {} | {} | {} | {} |".format(
-            name, key, fmt(bval),
-            fmt(cval) if cval is not None else "—",
-            f"{delta:+.1%}" if delta is not None else "—", status))
-    for name in new_artifacts:
-        lines.append(f"| {name} | — | — | — | — | new (unbaselined) |")
-    lines.append("")
-    if failures:
-        lines.append(f"**{len(failures)} failure(s):**")
-        lines.extend(f"- {f}" for f in failures)
-    else:
-        lines.append(f"All {len(rows)} gated metrics within threshold.")
-    report = "\n".join(lines) + "\n"
+    report = render(rows, failures, mode)
 
     sys.stdout.write(report)
     if args.summary is not None:

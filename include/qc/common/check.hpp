@@ -1,0 +1,44 @@
+// QC_CHECK: an always-on invariant check that aborts with context.
+//
+// assert() compiles out under NDEBUG, which is exactly the build every
+// production binary uses — so an assert guarding MEMORY SAFETY (an index
+// about to walk off the slot array, a null block pointer about to be
+// dereferenced, a tritmap CAS whose failure means a torn publication) turns
+// into silent heap corruption in Release.  QC_CHECK is for that class of
+// invariant only: it stays active in every build, costs one predictable
+// branch, and on violation prints the expression, location, and a short
+// explanation before aborting — a crash report a human can act on instead of
+// a corrupted-heap core three frames later.
+//
+// Policy (enforced by the test suite's expectations, documented here):
+//   * QC_CHECK   — invariants whose violation would corrupt or overrun
+//                  memory.  Always on, O(1) conditions only.
+//   * assert     — algorithmic pre/postconditions that are expensive
+//                  (is_sorted over k items) or whose violation produces a
+//                  wrong answer, not a wrong memory access.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qc::detail {
+
+[[noreturn]] inline void check_fail(const char* file, int line, const char* expr,
+                                    const char* why) {
+  std::fprintf(stderr, "qc: FATAL invariant violation at %s:%d\n  check: %s\n  why:   %s\n",
+               file, line, expr, why);
+  std::abort();
+}
+
+}  // namespace qc::detail
+
+#if defined(__GNUC__) || defined(__clang__)
+#define QC_CHECK_LIKELY(x) __builtin_expect(static_cast<bool>(x), 1)
+#else
+#define QC_CHECK_LIKELY(x) static_cast<bool>(x)
+#endif
+
+#define QC_CHECK(cond, why)                                        \
+  (QC_CHECK_LIKELY(cond)                                           \
+       ? static_cast<void>(0)                                      \
+       : ::qc::detail::check_fail(__FILE__, __LINE__, #cond, why))

@@ -22,6 +22,7 @@ struct Options {
   static constexpr std::uint32_t kMaxNodes = 64;             // NUMA nodes
   static constexpr std::uint32_t kMaxInstallQueue = 1u << 12;  // 2k-item cells
   static constexpr std::uint32_t kMaxIbrFreq = 1u << 20;       // IBR cadence cap
+  static constexpr std::uint32_t kMinRetireCap = 64;  // smallest nonzero retire cap
 
   std::uint32_t k = 4096;  // summary size: each level array holds k items
   std::uint32_t b = 16;    // per-thread local buffer (elements moved per F&A)
@@ -69,6 +70,27 @@ struct Options {
   // at any realistic stream length.  The abl_reclamation bench sweeps both.
   std::uint32_t ibr_epoch_freq = 16;
   std::uint32_t ibr_recl_freq = 64;
+
+  // Bounded-memory response to stalled readers.  IBR's conservative free
+  // rule means one parked querier handle (announced epoch never cleared)
+  // pins every later retirement on the retire list indefinitely.  When the
+  // list would exceed this many blocks, the latch holder first forces an
+  // off-cadence scan (ibr_stats().forced_scans); if the scan cannot free
+  // below the cap — a reader really is stalled — the sketch enters DEGRADED
+  // mode (ibr_stats().degraded): ingest throttles at the install latch until
+  // a scan succeeds, so retired memory stays <= cap * k * sizeof(T) instead
+  // of growing without bound.  Queries are unaffected (they never take the
+  // latch).  0 disables the cap (the pre-PR-7 unbounded behavior); nonzero
+  // values are clamped to >= 64 so the cap can never sit below one drain
+  // group's worst-case retirement burst.
+  std::uint32_t ibr_retire_cap = 4096;
+
+  // Install-latch watchdog threshold, nanoseconds.  Every latch hold is
+  // timed (stats().latch_holds / latch_max_hold_ns, always collected); a
+  // hold longer than this bumps stats().latch_watchdog_trips, so a wedged
+  // or preempted latch holder is observable from any thread without a
+  // debugger.  0 disables the trip counter (holds are still timed).
+  std::uint64_t latch_watchdog_ns = 100'000'000;  // 100ms
 
   // Ablation control arm (§5.5, abl_propagation): serialize every owner duty
   // — Gather&Sort batch formation, install enqueue, and the propagation drain
@@ -152,6 +174,10 @@ struct Options {
     if (ibr_recl_freq > kMaxIbrFreq) {
       adjust("ibr_recl_freq", ibr_recl_freq, kMaxIbrFreq,
              "ibr_recl_freq <= 2^20 (rarer scans never reclaim)");
+    }
+    if (ibr_retire_cap != 0 && ibr_retire_cap < kMinRetireCap) {
+      adjust("ibr_retire_cap", ibr_retire_cap, kMinRetireCap,
+             "ibr_retire_cap >= 64 (must cover one drain group's retirement burst)");
     }
     if (install_queue > kMaxInstallQueue) {
       // Also keeps the power-of-two rounding below from overflowing (an

@@ -91,12 +91,45 @@
 // N*b + rho*nodes*2k + install_queue*2k elements.  quiesce() flushes all of
 // that into the query path; after every updater has drained and quiesce()
 // returned, size() equals the number of ingested elements exactly.
+//
+// Failure model (README, "Failure model & degradation", has the full
+// contract).  Every allocation on the ingest/flush/cascade/merge path is
+// exception-safe with a DOCUMENTED outcome, enforced by the chaos suite
+// (tests/test_fault.cpp) under QC_FAULT_INJECT:
+//
+//   * Cascade OOM never half-publishes.  drain_group runs each cascade in
+//     two phases: prepare_cascade simulates the cascade against the group
+//     tritmap, enforces the retire cap, and stages every block it will need
+//     in stash_ — all throws happen there, before any slot, epoch, or seq
+//     is touched.  apply_cascade then only consumes the stash (no-throw).
+//     On OOM the batch stays parked in its install cell and the group
+//     publishes the prefix it already applied: backpressure, not data loss,
+//     and install_seq_ parity is always restored (stats().install_defers).
+//   * The install latch never leaks: every latch hold is scoped (LatchGuard
+//     or a noexcept drain), timed, and watchdogged (Options::latch_watchdog_ns,
+//     stats().latch_watchdog_trips).
+//   * push_tail / Updater::drain have the strong guarantee (vector range
+//     insert at end): on bad_alloc nothing is appended and the updater's
+//     local buffer is retained, so an explicit drain() can simply be
+//     retried.  Only ~Updater, which must not throw, drops the residue after
+//     bounded retries (counted in stats().oom_dropped_items, warned on
+//     stderr).
+//   * Querier::refresh may propagate bad_alloc; the handle stays valid and
+//     the previous summary stays answerable (cache entries are updated
+//     per-level, each atomically-consistently).
+//   * A stalled reader cannot pin unbounded memory: when the retire list
+//     would exceed Options::ibr_retire_cap, the latch holder forces a scan
+//     and, if the scan cannot help, throttles ingest (ibr_stats().degraded,
+//     forced_scans, throttle_waits) until the reader unpins — retired
+//     memory stays <= cap blocks.  ibr_stats().pinned_epoch_age says how
+//     far the oldest pin lags.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -112,10 +145,12 @@
 
 #include "atomics/tritmap.hpp"
 #include "common/backoff.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/batch_sort.hpp"
 #include "core/options.hpp"
 #include "core/run_merge.hpp"
+#include "fault/inject.hpp"
 #include "sequential/quantiles_sketch.hpp"
 #include "serde/binary.hpp"
 
@@ -140,6 +175,19 @@ struct Stats {
   std::uint64_t combined_installs = 0;  // groups that drained > 1 batch
   std::uint64_t max_combine = 0;        // largest batches-per-drain group seen
 
+  // Degradation + latch observability (ALWAYS collected, unlike the
+  // contention counters above: these move only on latch transitions or
+  // failure paths, so the cost is a few relaxed ops per drain group).  See
+  // the failure-model section of the file comment.
+  std::uint64_t install_defers = 0;     // cascades deferred by allocation failure
+  std::uint64_t queue_full_waits = 0;   // producers that found the install ring full
+  std::uint64_t oom_dropped_items = 0;  // tail items ~Updater dropped after retries
+  std::uint64_t latch_holds = 0;             // completed install-latch holds
+  std::uint64_t latch_hold_total_ns = 0;     // summed hold time
+  std::uint64_t latch_max_hold_ns = 0;       // longest single hold
+  std::uint64_t latch_current_hold_ns = 0;   // in-progress hold age (0 = free)
+  std::uint64_t latch_watchdog_trips = 0;    // holds > Options::latch_watchdog_ns
+
   double hole_rate_per_batch() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(holes) / static_cast<double>(batches);
@@ -159,6 +207,16 @@ struct IbrStats {
   std::uint64_t freed = 0;      // blocks returned to the allocator
   std::uint64_t scans = 0;      // reclamation scans (announcement sweeps)
   std::uint64_t peak_unreclaimed = 0;  // largest retire-list size ever seen
+
+  // Stalled-handle detection (Options::ibr_retire_cap; failure-model section
+  // of the file comment).  forced_scans / throttle_waits are monotone; the
+  // last three are point-in-time observations, not counters.
+  std::uint64_t forced_scans = 0;     // off-cadence scans forced by the cap
+  std::uint64_t throttle_waits = 0;   // throttle episodes (ingest paused)
+  std::uint64_t retire_list_len = 0;  // current retire-list length
+  std::uint64_t pinned_epoch_age = 0;  // epochs the oldest announced pin lags
+                                       // the global epoch (0 = no pin / fresh)
+  bool degraded = false;  // cap reached and a scan could not free below it
 
   // Blocks the sketch currently holds (published + retired + reuse pool).
   std::uint64_t live_blocks() const { return allocated - freed; }
@@ -259,6 +317,9 @@ class Quancurrent {
     // retire_block rarely reallocates under the install latch.
     retired_.reserve(256);
     free_blocks_.reserve(kFreeListCap);
+    // A cascade publishes at most one block per level plus the entry block;
+    // reserving now makes prepare_cascade's staging pushes no-throw.
+    stash_.reserve(kLevels + 1);
     scratch_.resize(cap_);
     rng_ = Xoshiro256(opts_.seed);
     install_q_ = std::make_unique<InstallCell[]>(opts_.install_queue);
@@ -290,6 +351,7 @@ class Quancurrent {
     for (auto& ref : slot_blocks_) delete ref.load(std::memory_order_relaxed);
     for (LevelBlock* b : retired_) delete b;
     for (LevelBlock* b : free_blocks_) delete b;
+    for (LevelBlock* b : stash_) delete b;  // nonempty only after a mid-drain throw
     IbrSlotChunk* c = ibr_chunks_.load(std::memory_order_relaxed);
     while (c != nullptr) {
       IbrSlotChunk* next = c->next.load(std::memory_order_relaxed);
@@ -332,7 +394,27 @@ class Quancurrent {
           count_(std::exchange(other.count_, 0)) {}
     Updater& operator=(Updater&&) = delete;
 
-    ~Updater() { drain(); }
+    // Destructors must not throw: retry the tail hand-off on OOM, then drop
+    // the residue with a warning rather than terminate.  An EXPLICIT drain()
+    // propagates bad_alloc instead — the buffer is retained (push_tail has
+    // the strong guarantee), so callers can retry losslessly.
+    ~Updater() {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        try {
+          drain();
+          return;
+        } catch (const std::bad_alloc&) {
+        }
+      }
+      if (sketch_ != nullptr && count_ != 0) {
+        std::fprintf(stderr,
+                     "qc::Updater: dropped %u buffered items after repeated "
+                     "allocation failure\n",
+                     count_);
+        sketch_->stat_oom_dropped_.fetch_add(count_, std::memory_order_relaxed);
+        count_ = 0;
+      }
+    }
 
     void update(const T& v) {
       local_[count_++] = v;
@@ -362,7 +444,9 @@ class Quancurrent {
     }
 
     // Hands any partial local buffer to the sketch's tail so no element is
-    // lost; called automatically on destruction.
+    // lost; called automatically on destruction.  On bad_alloc nothing is
+    // appended and the buffer is retained (count_ only clears after the
+    // hand-off succeeded), so drain() can simply be called again.
     void drain() {
       if (sketch_ != nullptr && count_ != 0) {
         sketch_->push_tail(local_.data(), count_);
@@ -427,7 +511,12 @@ class Quancurrent {
     for (auto& node : nodes_) {
       for (auto& gb : node->bufs) {
         const std::uint64_t committed = gb->committed.load(std::memory_order_acquire);
-        assert(committed == gb->reserved.load(std::memory_order_acquire));
+        // Memory safety, not just accounting: a reserved-but-uncommitted
+        // flush means a concurrent update() is still copying into this
+        // buffer, and the push_tail below would publish (and later recycle)
+        // slots it is mid-write on.
+        QC_CHECK(committed == gb->reserved.load(std::memory_order_acquire),
+                 "quiesce() requires all updaters drained (no concurrent update())");
         const std::uint64_t residue = committed % cap_;
         if (residue == 0) continue;
         push_tail(gb->slots.data(), residue);
@@ -463,8 +552,10 @@ class Quancurrent {
     // no reader mid-snapshot — ibr_stats().live_blocks() equals the number
     // of tritmap-referenced runs exactly (the eventual-reclamation test's
     // invariant).
-    Backoff backoff;
-    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    const LatchGuard guard(*this);  // scoped: the latch cannot leak on a throw
+    // Make the unpublish loop's retirements no-throw up front (<= 2 * kLevels
+    // of them); a bad_alloc here propagates with nothing retired yet.
+    retired_.reserve(retired_.size() + 2 * static_cast<std::size_t>(kLevels));
     const Tritmap tm = tritmap_.load(std::memory_order_relaxed);
     for (std::uint32_t level = 0; level < kLevels; ++level) {
       for (std::uint32_t slot = tm.trit(level); slot < 2; ++slot) {
@@ -480,7 +571,6 @@ class Quancurrent {
       ibr_freed_.fetch_add(1, std::memory_order_relaxed);
     }
     free_blocks_.clear();
-    latch_.clear(std::memory_order_release);
   }
 
   // ----- introspection -----------------------------------------------------
@@ -514,6 +604,18 @@ class Quancurrent {
     s.installs = stat_installs_.load(std::memory_order_relaxed);
     s.combined_installs = stat_combined_installs_.load(std::memory_order_relaxed);
     s.max_combine = stat_max_combine_.load(std::memory_order_relaxed);
+    s.install_defers = stat_install_defers_.load(std::memory_order_relaxed);
+    s.queue_full_waits = stat_queue_full_waits_.load(std::memory_order_relaxed);
+    s.oom_dropped_items = stat_oom_dropped_.load(std::memory_order_relaxed);
+    s.latch_holds = stat_latch_holds_.load(std::memory_order_relaxed);
+    s.latch_hold_total_ns = stat_latch_hold_ns_.load(std::memory_order_relaxed);
+    s.latch_max_hold_ns = stat_latch_max_hold_ns_.load(std::memory_order_relaxed);
+    s.latch_watchdog_trips = stat_watchdog_trips_.load(std::memory_order_relaxed);
+    // Observable wedge detection: how long the CURRENT holder has had the
+    // latch (0 when free) — a hung holder shows up here long before its own
+    // release-side watchdog trip could.
+    const std::uint64_t since = latch_since_ns_.load(std::memory_order_relaxed);
+    s.latch_current_hold_ns = since == 0 ? 0 : now_ns() - since;
     return s;
   }
 
@@ -530,6 +632,17 @@ class Quancurrent {
     s.freed = ibr_freed_.load(std::memory_order_relaxed);
     s.scans = ibr_scans_.load(std::memory_order_relaxed);
     s.peak_unreclaimed = ibr_peak_unreclaimed_.load(std::memory_order_relaxed);
+    s.forced_scans = ibr_forced_scans_.load(std::memory_order_relaxed);
+    s.throttle_waits = ibr_throttle_waits_.load(std::memory_order_relaxed);
+    s.retire_list_len = retire_list_len_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    // Stalled-handle detection: a healthy pin lags the global epoch by at
+    // most a scan cadence or two; an age that keeps growing names the
+    // failure (a parked handle) rather than its symptom (a long retire
+    // list).  The announcement sweep is O(handles) — diagnostic-path cost.
+    const std::uint64_t min_e = min_announced_epoch();
+    const std::uint64_t cur = ibr_epoch_.load(std::memory_order_relaxed);
+    s.pinned_epoch_age = (min_e == kIdleEpoch || min_e >= cur) ? 0 : cur - min_e;
     return s;
   }
 
@@ -541,7 +654,10 @@ class Quancurrent {
   // multi-batch combining deterministically; production ingestion always
   // follows an enqueue with drain_until(), so the queue self-drains.
   std::uint64_t enqueue_batch(std::span<const T> sorted_batch) {
-    assert(sorted_batch.size() == cap_);
+    // Size is memory safety (the memcpy below trusts it); sortedness is an
+    // algorithmic precondition (wrong answers, not wrong accesses) and O(2k)
+    // to verify, so it stays a debug-only assert (see common/check.hpp).
+    QC_CHECK(sorted_batch.size() == cap_, "enqueue_batch requires a full 2k batch");
     assert(std::is_sorted(sorted_batch.begin(), sorted_batch.end(), cmp_));
     const std::uint64_t pos = acquire_cell();
     InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
@@ -560,8 +676,10 @@ class Quancurrent {
   // install_run() calls plus a push_tail() of its weight-1 residue.
   // Thread-safe against concurrent updaters, queriers, and other installs.
   void install_run(std::uint32_t level, std::span<const T> run) {
-    assert(level >= 1 && level < kLevels);
-    assert(run.size() == opts_.k);
+    // Level bounds and run size guard the memcpy and the cascade's slot
+    // writes; sortedness is answer-correctness only (assert policy above).
+    QC_CHECK(level >= 1 && level < kLevels, "install_run level out of ladder range");
+    QC_CHECK(run.size() == opts_.k, "install_run requires exactly one k-run");
     assert(std::is_sorted(run.begin(), run.end(), cmp_));
     std::unique_lock<std::mutex> serialized;
     if (opts_.serialize_propagation) {
@@ -577,9 +695,12 @@ class Quancurrent {
 
   // Appends weight-1 items to the tail, immediately visible to queries.
   // Thread-safe; merge and ingestion-adjacent code paths use it for residue
-  // that does not fill a 2k batch.
+  // that does not fill a 2k batch.  Strong exception guarantee: on bad_alloc
+  // (the insert's growth, or an injected tail_alloc fault) nothing is
+  // appended and the counters are untouched — callers retry or report.
   void push_tail(const T* items, std::uint64_t count) {
     std::lock_guard<std::mutex> lock(tail_mu_);
+    QC_INJECT_OOM(tail_alloc);
     // Capacity is pre-reserved at construction, so this insert (one
     // geometric reallocation at most, by the range-insert guarantee) almost
     // never allocates under tail_mu_.
@@ -595,9 +716,9 @@ class Quancurrent {
     Backoff backoff;
     while (install_head_.load(std::memory_order_acquire) !=
            install_tail_.load(std::memory_order_acquire)) {
-      if (!latch_.test_and_set(std::memory_order_acquire)) {
+      if (try_acquire_latch()) {
         drain_group();
-        latch_.clear(std::memory_order_release);
+        release_latch();
       } else {
         backoff.spin();
       }
@@ -675,6 +796,9 @@ class Quancurrent {
       std::vector<T> runs;       // copied sorted k-runs, slot-major
     };
 
+    // May propagate bad_alloc (snapshot copy growth): the handle stays
+    // valid, the previous summary stays answerable, and the pin clears on
+    // unwind (RAII) so a failed refresh can never stall reclamation.
     void refresh_impl(bool force_full) {
       auto& s = *sketch_;
       // Pin the reclamation epoch across every snapshot attempt: the
@@ -682,6 +806,9 @@ class Quancurrent {
       // until the pin clears (IBR, file comment).  Two stores — the query
       // path never blocks on growth or reclamation.
       const IbrPin pin(s, lease_.slot());
+      // Chaos builds: park the reader HERE, pin held — the stalled-querier
+      // scenario the retire cap (Options::ibr_retire_cap) exists for.
+      QC_INJECT_STALL(querier_stall);
       holes_ = 0;
       Backoff backoff;
       for (std::uint32_t attempt = 0;; ++attempt) {
@@ -770,6 +897,11 @@ class Quancurrent {
             c.copied == trit) {
           continue;
         }
+        // A bad_alloc on this growth leaves the entry's previous (epoch,
+        // runs) pair intact — resize has the strong guarantee and the tags
+        // are only updated after the copy below — so the cache stays
+        // internally consistent and refresh can simply be retried.
+        QC_INJECT_OOM(querier_copy_alloc);
         c.runs.resize(static_cast<std::size_t>(trit) * k);
         std::uint32_t copied = 0;
         for (std::uint32_t slot = 0; slot < trit; ++slot) {
@@ -803,6 +935,7 @@ class Quancurrent {
       auto& s = *sketch_;
       std::lock_guard<std::mutex> lock(s.tail_mu_);
       const std::size_t n = s.tail_.size();
+      QC_INJECT_OOM(querier_copy_alloc);
       tail_buf_.resize(n);
       if (n != 0) std::memcpy(tail_buf_.data(), s.tail_.data(), n * sizeof(T));
       return s.tail_version_.load(std::memory_order_relaxed);
@@ -885,6 +1018,15 @@ class Quancurrent {
   // a k mismatch or self-merge.  Elements still in this sketch's local or
   // gather buffers are invisible to the merge, exactly as they are to
   // queries (bounded relaxation) — quiesce() first for an exact fold.
+  //
+  // Exception safety: may propagate bad_alloc.  From the snapshot phase
+  // (the reserves below) nothing has been installed and the target is
+  // untouched; from the install phase a PREFIX of the runs (and possibly
+  // not the tail) has been folded — the target remains internally
+  // consistent and answerable, but a blind retry would re-install that
+  // prefix, so callers under memory pressure should retry into a fresh
+  // target (the chaos suite's pattern).  Both sketches' latches are scoped
+  // and cannot leak.
   bool merge_into(Quancurrent& target) const {
     if (&target == this || target.opts_.k != opts_.k) return false;
     // Snapshot the installed ladder under the install latch: holding it
@@ -901,18 +1043,19 @@ class Quancurrent {
       for (std::uint32_t level = 1; level < top; ++level) runs += tm.trit(level);
       return runs;
     };
-    Backoff backoff;
     for (;;) {
       // +4: headroom for installs cascading new levels while unlatched.
+      // All allocation happens HERE, outside the latch: a bad_alloc (real or
+      // injected) propagates with no latch held and nothing installed.
       const std::size_t reserved =
           std::min<std::size_t>(count_runs(tritmap_.load(std::memory_order_acquire)) + 4,
                                 2 * kLevels);
+      QC_INJECT_OOM(merge_alloc);
       run_items.reserve(reserved * opts_.k);
       run_levels.reserve(reserved);
-      while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+      const LatchGuard guard(*this);
       const Tritmap tm = tritmap_.load(std::memory_order_acquire);
       if (count_runs(tm) > reserved) {
-        latch_.clear(std::memory_order_release);
         continue;  // ladder outgrew the guess; re-reserve and retry
       }
       const std::uint32_t top = tm.num_levels();
@@ -923,7 +1066,6 @@ class Quancurrent {
           run_levels.push_back(level);
         }
       }
-      latch_.clear(std::memory_order_release);
       break;
     }
     std::vector<T> tail_copy;
@@ -985,6 +1127,7 @@ class Quancurrent {
     if (!r.get(o.k) || !r.get(o.b) || !r.get(o.rho) || !r.get(presort) ||
         !r.get(stats) || !r.get(o.install_combine) || !r.get(o.install_queue) ||
         !r.get(serprop) || !r.get(o.ibr_epoch_freq) || !r.get(o.ibr_recl_freq) ||
+        !r.get(o.ibr_retire_cap) || !r.get(o.latch_watchdog_ns) ||
         !r.get(o.seed) || !r.get(o.topology.nodes) ||
         !r.get(o.topology.threads_per_node) || !r.get(rng_state) ||
         !r.get(tritmap_raw)) {
@@ -1041,6 +1184,7 @@ class Quancurrent {
     // contract).
     std::unique_ptr<Quancurrent> sk;
     try {
+      QC_INJECT_OOM(deserialize_alloc);
       sk = std::make_unique<Quancurrent>(o);
       sk->rng_.set_state(rng_state);
       const std::uint32_t top = tm.num_levels();
@@ -1052,6 +1196,15 @@ class Quancurrent {
           sk->slot_block(level, slot).store(blk, std::memory_order_relaxed);
           if (!r.get_bytes(blk->items.data(), sk->opts_.k * sizeof(T))) {
             serde::set_status(status, serde::Status::short_buffer);
+            return nullptr;
+          }
+          // Published runs are sorted by construction, and everything
+          // downstream trusts that (the query merge, and install_run when
+          // this sketch is later merged).  A crafted unsorted run is as
+          // malformed as a bad trit — reject it here, where the bytes are
+          // already cache-hot, instead of serving garbage quantiles.
+          if (!std::is_sorted(blk->items.begin(), blk->items.end(), sk->cmp_)) {
+            serde::set_status(status, serde::Status::bad_payload);
             return nullptr;
           }
         }
@@ -1137,14 +1290,16 @@ class Quancurrent {
     std::vector<std::unique_ptr<Gather>> bufs;
   };
 
+  // Out-of-range (level, slot) would index past slot_blocks_ — memory
+  // safety, so QC_CHECK, not assert (common/check.hpp policy).
   std::atomic<LevelBlock*>& slot_block(std::uint32_t level, std::uint32_t slot) {
-    assert(level < kLevels && slot < 2);
+    QC_CHECK(level < kLevels && slot < 2, "level slot index out of ladder range");
     return slot_blocks_[static_cast<std::size_t>(level) * 2 + slot];
   }
 
   const std::atomic<LevelBlock*>& slot_block(std::uint32_t level,
                                              std::uint32_t slot) const {
-    assert(level < kLevels && slot < 2);
+    QC_CHECK(level < kLevels && slot < 2, "level slot index out of ladder range");
     return slot_blocks_[static_cast<std::size_t>(level) * 2 + slot];
   }
 
@@ -1154,15 +1309,67 @@ class Quancurrent {
   // pointer snapshots instead.
   T* slot_ptr(std::uint32_t level, std::uint32_t slot) {
     LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
-    assert(b != nullptr);
+    QC_CHECK(b != nullptr, "dereferencing an unpublished level slot");
     return b->items.data();
   }
 
   const T* slot_ptr(std::uint32_t level, std::uint32_t slot) const {
     const LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
-    assert(b != nullptr);
+    QC_CHECK(b != nullptr, "dereferencing an unpublished level slot");
     return b->items.data();
   }
+
+  // ----- install latch: timed, watchdogged acquisition ----------------------
+  // Every hold of latch_ goes through these helpers so hold time is always
+  // observable (stats().latch_holds / latch_max_hold_ns /
+  // latch_current_hold_ns) and a hold longer than Options::latch_watchdog_ns
+  // is counted (latch_watchdog_trips) — a wedged or preempted holder shows
+  // up in counters any thread can read, not just in a stuck flame graph.
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  bool try_acquire_latch() const {
+    if (latch_.test_and_set(std::memory_order_acquire)) return false;
+    latch_since_ns_.store(now_ns(), std::memory_order_relaxed);
+    return true;
+  }
+
+  void acquire_latch() const {
+    Backoff backoff;
+    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    latch_since_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  void release_latch() const {
+    const std::uint64_t held = now_ns() - latch_since_ns_.load(std::memory_order_relaxed);
+    latch_since_ns_.store(0, std::memory_order_relaxed);
+    stat_latch_holds_.fetch_add(1, std::memory_order_relaxed);
+    stat_latch_hold_ns_.fetch_add(held, std::memory_order_relaxed);
+    std::uint64_t seen = stat_latch_max_hold_ns_.load(std::memory_order_relaxed);
+    while (seen < held && !stat_latch_max_hold_ns_.compare_exchange_weak(
+                              seen, held, std::memory_order_relaxed)) {
+    }
+    if (opts_.latch_watchdog_ns != 0 && held > opts_.latch_watchdog_ns) {
+      stat_watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    latch_.clear(std::memory_order_release);
+  }
+
+  // Scoped hold for the paths that may throw under the latch (quiesce's
+  // retirement bookkeeping, merge snapshots): "the latch never leaks" is a
+  // failure-model guarantee, not a convention.
+  struct LatchGuard {
+    explicit LatchGuard(const Quancurrent& s) : s_(s) { s_.acquire_latch(); }
+    LatchGuard(const LatchGuard&) = delete;
+    LatchGuard& operator=(const LatchGuard&) = delete;
+    ~LatchGuard() { s_.release_latch(); }
+    const Quancurrent& s_;
+  };
 
   // ----- IBR: allocation, retirement, reclamation (latch_ held throughout,
   // except acquire_ibr_slot which is lock-free) -----------------------------
@@ -1177,6 +1384,7 @@ class Quancurrent {
       free_blocks_.pop_back();
       ibr_reused_.fetch_add(1, std::memory_order_relaxed);
     } else {
+      QC_INJECT_OOM(level_block_alloc);
       b = new LevelBlock(opts_.k);
       ibr_allocated_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -1208,6 +1416,7 @@ class Quancurrent {
     b->retire_epoch = ibr_epoch_.load(std::memory_order_relaxed);
     retired_.push_back(b);
     ibr_retired_.fetch_add(1, std::memory_order_relaxed);
+    retire_list_len_.store(retired_.size(), std::memory_order_relaxed);
     if (retired_.size() > ibr_peak_unreclaimed_.load(std::memory_order_relaxed)) {
       ibr_peak_unreclaimed_.store(retired_.size(), std::memory_order_relaxed);
     }
@@ -1264,6 +1473,117 @@ class Quancurrent {
     }
     ibr_reclaimed_.fetch_add(retired_.size() - kept, std::memory_order_relaxed);
     retired_.resize(kept);
+    retire_list_len_.store(kept, std::memory_order_relaxed);
+    // degraded_ is NOT cleared here: the flag marks a throttle episode, and
+    // only enforce_retire_cap (its sole setter, below) knows when the
+    // episode actually ends — a scan inside its wait loop can shrink the
+    // list just under the cap while ingest is still blocked, and clearing
+    // then would make the flag flicker invisible to observers.
+  }
+
+  // Bounded-memory response to stalled readers (Options::ibr_retire_cap):
+  // refuses to let the retire list exceed the cap.  Called from
+  // prepare_cascade with the cascade's worst-case retirement count, under
+  // the latch, BEFORE anything is published.  A forced scan is cheap; when
+  // scanning cannot help — some reader really is parked mid-snapshot —
+  // ingest throttles HERE until the reader unpins, so retired memory stays
+  // <= cap blocks instead of growing without bound.  Queriers never take
+  // the latch and are unaffected; producers feel it as install-queue
+  // backpressure.  The wait is observable: ibr_stats().degraded flips true
+  // for the episode, throttle_waits counts episodes, forced_scans counts
+  // every off-cadence scan, and the latch watchdog times the hold.
+  void enforce_retire_cap(std::uint32_t upcoming) {
+    const std::uint32_t cap = opts_.ibr_retire_cap;
+    if (cap == 0 || retired_.size() + upcoming <= cap) return;
+    ibr_forced_scans_.fetch_add(1, std::memory_order_relaxed);
+    ibr_scan();
+    if (retired_.size() + upcoming <= cap) return;
+    degraded_.store(true, std::memory_order_relaxed);
+    ibr_throttle_waits_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (retired_.size() + upcoming > cap) {
+      backoff.spin();
+      ibr_forced_scans_.fetch_add(1, std::memory_order_relaxed);
+      ibr_scan();
+    }
+    // The flag spans the whole episode — set before the first wait, cleared
+    // only here once ingest can proceed — so observers polling ibr_stats()
+    // see one stable degraded=true window per throttle, however many scans
+    // it took.
+    degraded_.store(false, std::memory_order_relaxed);
+  }
+
+  // ----- two-phase cascade staging (latch_ held throughout) ----------------
+
+  // Phase one: SIMULATE the cascade apply_cascade would run from `tm` (the
+  // same tritmap transitions, no slot writes), count the blocks it publishes,
+  // enforce the retire cap against that worst-case retirement burst, and
+  // stage every allocation in stash_.  All throwing work happens here,
+  // BEFORE anything becomes visible: on bad_alloc the staged blocks return
+  // to the pool and the caller defers the batch.  Returns false iff the
+  // staging allocations failed.
+  bool prepare_cascade(Tritmap tm, std::uint32_t entry_level) {
+    std::uint32_t blocks = 0;
+    std::uint32_t level = entry_level;
+    if (entry_level == 0) {
+      tm = tm.after_batch_update();
+    } else {
+      ++blocks;  // the entry-level k-run publication
+      tm = tm.with_trit(entry_level, tm.trit(entry_level) + 1);
+    }
+    while (tm.trit(level) == 2) {
+      const std::uint32_t dest_level = level + 1;
+      if (dest_level >= kLevels) {
+        // Reaching here needs ~k * 2^33 elements; fail fast — and before a
+        // single slot write is staged — rather than corrupt the heap.
+        std::fprintf(stderr, "qc::Quancurrent: level ladder exhausted (k=%u too small "
+                             "for this stream length)\n", opts_.k);
+        std::abort();
+      }
+      ++blocks;
+      tm = tm.after_install_propagation(level);
+      level = dest_level;
+    }
+    // Each publication retires at most the one block it displaces, so
+    // `blocks` bounds the retirement burst.  The cap check runs before any
+    // allocation: a degraded throttle never sits on staged blocks.
+    enforce_retire_cap(blocks);
+    try {
+      // Pre-reserving the retire list makes retire_block's push_back during
+      // the apply no-throw; stash_ itself was reserved at construction
+      // (kLevels + 1 >= any cascade's block count).
+      retired_.reserve(retired_.size() + blocks);
+      while (stash_.size() < blocks) stash_.push_back(alloc_block());
+    } catch (const std::bad_alloc&) {
+      release_stash();
+      return false;
+    }
+    return true;
+  }
+
+  // Hands apply_cascade its next pre-staged block; underflow means the
+  // simulation and the application disagreed — a logic bug that would
+  // otherwise turn into an allocation (and a possible throw) mid-publication.
+  LevelBlock* take_block() {
+    QC_CHECK(!stash_.empty(), "cascade consumed more blocks than its simulation staged");
+    LevelBlock* b = stash_.back();
+    stash_.pop_back();
+    return b;
+  }
+
+  // Returns staged blocks nobody will consume (a failed prepare) to the
+  // reuse pool, allocator-bound overflow freed.  The accounting stays
+  // consistent: pooled blocks count as live until quiesce flushes the pool.
+  void release_stash() {
+    for (LevelBlock* b : stash_) {
+      if (free_blocks_.size() < kFreeListCap) {
+        free_blocks_.push_back(b);
+      } else {
+        delete b;
+        ibr_freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    stash_.clear();
   }
 
   // Claims a free announcement slot, growing the chunk list when none is
@@ -1306,24 +1626,27 @@ class Quancurrent {
     w.put(static_cast<std::uint8_t>(opts_.serialize_propagation ? 1 : 0));
     w.put(opts_.ibr_epoch_freq);
     w.put(opts_.ibr_recl_freq);
+    w.put(opts_.ibr_retire_cap);
+    w.put(opts_.latch_watchdog_ns);
     w.put(opts_.seed);
     w.put(opts_.topology.nodes);
     w.put(opts_.topology.threads_per_node);
-    // Freeze publication while the ladder (and the parity rng installs
-    // mutate) is imaged: only the latch holder writes either, and queriers
-    // never take the latch, so the query path is unaffected.
-    Backoff backoff;
-    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
-    w.put(rng_.state());
-    const Tritmap tm = tritmap_.load(std::memory_order_acquire);
-    w.put(tm.raw());
-    const std::uint32_t top = tm.num_levels();
-    for (std::uint32_t level = 1; level < top; ++level) {
-      for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
-        w.put_bytes(slot_ptr(level, slot), opts_.k * sizeof(T));
+    {
+      // Freeze publication while the ladder (and the parity rng installs
+      // mutate) is imaged: only the latch holder writes either, and queriers
+      // never take the latch, so the query path is unaffected.  Scoped so
+      // the latch cannot leak (Writer::put never throws).
+      const LatchGuard guard(*this);
+      w.put(rng_.state());
+      const Tritmap tm = tritmap_.load(std::memory_order_acquire);
+      w.put(tm.raw());
+      const std::uint32_t top = tm.num_levels();
+      for (std::uint32_t level = 1; level < top; ++level) {
+        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+          w.put_bytes(slot_ptr(level, slot), opts_.k * sizeof(T));
+        }
       }
     }
-    latch_.clear(std::memory_order_release);
     std::lock_guard<std::mutex> lock(tail_mu_);
     w.put(static_cast<std::uint64_t>(tail_.size()));
     w.put_bytes(tail_.data(), tail_.size() * sizeof(T));
@@ -1353,6 +1676,19 @@ class Quancurrent {
     // the reclaimer, so this is defense-in-depth that also keeps the
     // abl_reclamation accounting honest about writer-side read regions.  A
     // stale announcement only delays reclamation — the safe direction.
+    //
+    // CRITICAL: the announcement must be CLEARED before every wait in this
+    // function (the ordinal wait, acquire_cell, drain_until).  A parked
+    // producer holding a pinned epoch would deadlock against the retire-cap
+    // throttle: the latch holder waits for all pins to advance while the
+    // producer waits for the latch holder to drain.  Clearing is safe — the
+    // waits touch no level blocks (gather slots and install cells are
+    // sketch-owned arrays, not IBR-managed blocks).
+    const auto unpin = [slot] {
+      if (slot != nullptr) {
+        slot->announced.store(kIdleEpoch, std::memory_order_relaxed);
+      }
+    };
     if (slot != nullptr) {
       slot->announced.store(ibr_epoch_.load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
@@ -1361,6 +1697,9 @@ class Quancurrent {
     const std::uint64_t gen = node.cur.load(std::memory_order_acquire);
     Gather& gb = *node.bufs[gen % opts_.rho];
     const std::uint64_t pos = gb.reserved.fetch_add(count, std::memory_order_acq_rel);
+    // Chaos builds: preempt the writer between its reservation and its
+    // commit — the delayed-thread scenario behind the paper's hole analysis.
+    QC_INJECT_STALL(gather_stall);
     const std::uint64_t ord = pos / cap_;
     const std::uint64_t off = pos % cap_;
     if (gb.ordinal.load(std::memory_order_acquire) != ord) {
@@ -1371,6 +1710,7 @@ class Quancurrent {
       if (opts_.collect_stats) {
         stat_gather_waits_.fetch_add(1, std::memory_order_relaxed);
       }
+      unpin();  // the owner we wait on may itself be throttled (see above)
       Backoff backoff;
       while (gb.ordinal.load(std::memory_order_acquire) != ord) backoff.spin();
     }
@@ -1393,6 +1733,7 @@ class Quancurrent {
       if (opts_.serialize_propagation) {
         serialized = std::unique_lock<std::mutex>(prop_mu_);
       }
+      unpin();  // acquire_cell and drain_until both park (see above)
       const std::uint64_t cell_pos = acquire_cell();
       InstallCell& cell = install_q_[cell_pos & (opts_.install_queue - 1)];
       cell.level = 0;
@@ -1407,9 +1748,7 @@ class Quancurrent {
       cell.seq.store(cell_pos + 1, std::memory_order_release);
       drain_until(cell_pos);
     }
-    if (slot != nullptr) {
-      slot->announced.store(kIdleEpoch, std::memory_order_relaxed);
-    }
+    unpin();
   }
 
   // Claims the next install-queue ticket and waits (backpressure) until its
@@ -1417,10 +1756,19 @@ class Quancurrent {
   // the previous lap, whose producer is parked in drain_until() and will
   // drain it, so progress is guaranteed.
   std::uint64_t acquire_cell() {
+    // Chaos builds: delay the producer as if the ring were full, driving the
+    // backpressure wait below without needing a real slow drainer.
+    QC_INJECT_STALL(install_queue_full);
     const std::uint64_t pos = install_tail_.fetch_add(1, std::memory_order_acq_rel);
     InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
-    Backoff backoff;
-    while (cell.seq.load(std::memory_order_acquire) != pos) backoff.spin();
+    if (cell.seq.load(std::memory_order_acquire) != pos) {
+      // Full ring: this producer is feeling backpressure.  Counted always
+      // (not just under collect_stats) — it is the signal that update
+      // throughput is drain-bound, part of the documented failure model.
+      stat_queue_full_waits_.fetch_add(1, std::memory_order_relaxed);
+      Backoff backoff;
+      while (cell.seq.load(std::memory_order_acquire) != pos) backoff.spin();
+    }
     return pos;
   }
 
@@ -1442,9 +1790,9 @@ class Quancurrent {
     Backoff backoff;
     for (;;) {
       if (install_head_.load(std::memory_order_acquire) > my_pos) return;
-      if (!latch_.test_and_set(std::memory_order_acquire)) {
+      if (try_acquire_latch()) {
         drain_group();
-        latch_.clear(std::memory_order_release);
+        release_latch();
       } else {
         if (opts_.collect_stats) {
           stat_latch_spins_.fetch_add(1, std::memory_order_relaxed);
@@ -1475,6 +1823,10 @@ class Quancurrent {
   // parity, so any query copy window overlapping a dangerous write fails
   // validation (see Querier::refresh_impl).
   void drain_group() {
+    // Chaos builds: wedge the latch holder right here — producers park on the
+    // ring, queriers keep answering from the published state, and the hold
+    // must show up in latch_current_hold_ns / latch_watchdog_trips.
+    QC_INJECT_STALL(latch_stall);
     const std::uint64_t start = install_head_.load(std::memory_order_relaxed);
     std::uint64_t head = start;
     Tritmap published = tritmap_.load(std::memory_order_relaxed);
@@ -1484,10 +1836,22 @@ class Quancurrent {
     while (head - start < opts_.install_combine) {
       InstallCell& cell = install_q_[head & (opts_.install_queue - 1)];
       if (cell.seq.load(std::memory_order_acquire) != head + 1) break;
+      // Two-phase install (failure-model section of the file comment): first
+      // SIMULATE the cascade and stage every block it will publish — all
+      // allocation, and therefore all throwing, happens before a single slot
+      // is written.  On OOM the cell stays parked in the ring, the group ends
+      // at the prefix already applied, and the producer's drain_until retries
+      // the install later: backpressure, never a torn publication or a lost
+      // batch (stats().install_defers counts these).
+      if (!prepare_cascade(tm, cell.level)) {
+        stat_install_defers_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
       const std::size_t cell_items = cell.level == 0 ? cap_ : opts_.k;
       tm = apply_cascade(tm, published,
                          std::span<const T>(cell.items.data(), cell_items),
                          cell.level, seq_odd, steps);
+      QC_CHECK(stash_.empty(), "cascade simulation diverged from its application");
       // The cascade fully consumed the cell's items; free it for the next
       // lap before publishing so producers stall as little as possible.
       cell.seq.store(head + opts_.install_queue, std::memory_order_release);
@@ -1496,8 +1860,10 @@ class Quancurrent {
     if (head == start) return;
     const bool swapped = tritmap_.compare_exchange_strong(
         published, tm, std::memory_order_release, std::memory_order_relaxed);
-    assert(swapped);
-    (void)swapped;
+    // Only the latch holder ever writes tritmap_; a failed CAS is not a race
+    // to retry but a broken publication protocol — torn ladder state behind
+    // it would mean wild slot reads, so fail loudly in every build.
+    QC_CHECK(swapped, "tritmap changed under the install latch");
     // Net +2 per group keeps install_seq_ even outside dangerous write
     // phases; a group that flipped odd adds the second half here.
     install_seq_.fetch_add(seq_odd ? 1 : 2, std::memory_order_release);
@@ -1527,7 +1893,10 @@ class Quancurrent {
   // through the very same publication machinery.  `published` is the tritmap
   // queriers can currently see: writing a slot below its trit requires the
   // seqlock odd phase (entered lazily, at most once per group).  Caller must
-  // hold latch_.
+  // hold latch_ and have run prepare_cascade(tm, entry_level) successfully:
+  // every block consumed here comes from stash_ and the retire list is
+  // pre-reserved, so this function NEVER THROWS — once the first slot write
+  // lands, the cascade always runs to its tritmap CAS.
   Tritmap apply_cascade(Tritmap tm, Tritmap published, std::span<const T> items,
                         std::uint32_t entry_level, bool& seq_odd,
                         std::uint64_t& steps) {
@@ -1544,8 +1913,10 @@ class Quancurrent {
       // A cascade always ends with no trit at 2, so the entry level has a
       // free slot; publish the k-run there and cascade only if it fills.
       const std::uint32_t dest_slot = tm.trit(entry_level);
-      assert(dest_slot < 2);
-      LevelBlock* nb = alloc_block();
+      // A trit of 2 here would index past the slot pair — memory safety, so
+      // checked in every build (see common/check.hpp policy).
+      QC_CHECK(dest_slot < 2, "cascade entry level has no free slot");
+      LevelBlock* nb = take_block();
       std::memcpy(nb->items.data(), items.data(), opts_.k * sizeof(T));
       if (!seq_odd && dest_slot < published.trit(entry_level)) {
         install_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -1563,18 +1934,14 @@ class Quancurrent {
     }
     while (tm.trit(level) == 2) {
       const std::uint32_t dest_level = level + 1;
-      if (dest_level >= kLevels) {
-        // Reaching here needs ~k * 2^33 elements; fail fast rather than
-        // corrupt the heap.
-        std::fprintf(stderr, "qc::Quancurrent: level ladder exhausted (k=%u too small "
-                             "for this stream length)\n", opts_.k);
-        std::abort();
-      }
+      // Ladder exhaustion is diagnosed (and aborted on) by prepare_cascade,
+      // which simulated this exact walk before anything was staged.
+      QC_CHECK(dest_level < kLevels, "cascade walked past the simulated ladder top");
       const std::uint32_t dest_slot = tm.trit(dest_level);
       // Compact into a FRESH block with plain stores — it is invisible until
       // the pointer publication below, and published blocks are immutable,
       // so no per-item atomics are needed anywhere.
-      LevelBlock* nb = alloc_block();
+      LevelBlock* nb = take_block();
       const std::uint32_t parity = rng_.next_bool() ? 1 : 0;
       T* dest = nb->items.data();
       for (std::uint32_t i = 0; i < opts_.k; ++i) dest[i] = source[2 * i + parity];
@@ -1639,6 +2006,18 @@ class Quancurrent {
   std::atomic<std::uint64_t> ibr_scans_{0};
   std::atomic<std::uint64_t> ibr_peak_unreclaimed_{0};
 
+  // Retire-cap degradation state (Options::ibr_retire_cap).  Stored by the
+  // latch holder, read lock-free by ibr_stats().
+  std::atomic<std::uint64_t> ibr_forced_scans_{0};
+  std::atomic<std::uint64_t> ibr_throttle_waits_{0};
+  std::atomic<std::uint64_t> retire_list_len_{0};
+  std::atomic<bool> degraded_{false};
+
+  // Two-phase cascade staging area (latch-protected): the blocks
+  // prepare_cascade provisioned for the next apply_cascade.  Empty between
+  // drain steps; nonempty at destruction only after a mid-drain throw.
+  std::vector<LevelBlock*> stash_;
+
   // serialize_propagation ablation arm: conditionally held around batch
   // formation + install enqueue + propagation drain.  Queriers never take it.
   std::mutex prop_mu_;
@@ -1680,6 +2059,19 @@ class Quancurrent {
   mutable std::atomic<std::uint64_t> stat_installs_{0};
   mutable std::atomic<std::uint64_t> stat_combined_installs_{0};
   mutable std::atomic<std::uint64_t> stat_max_combine_{0};
+
+  // Failure-model observability (always collected; see Stats).  Mutable
+  // because the latch helpers run on const paths too (serialize, merge
+  // snapshots).  latch_since_ns_ is the CURRENT hold's start timestamp
+  // (0 = latch free) — stats() derives latch_current_hold_ns from it.
+  mutable std::atomic<std::uint64_t> stat_latch_holds_{0};
+  mutable std::atomic<std::uint64_t> stat_latch_hold_ns_{0};
+  mutable std::atomic<std::uint64_t> stat_latch_max_hold_ns_{0};
+  mutable std::atomic<std::uint64_t> stat_watchdog_trips_{0};
+  mutable std::atomic<std::uint64_t> latch_since_ns_{0};
+  std::atomic<std::uint64_t> stat_install_defers_{0};
+  std::atomic<std::uint64_t> stat_queue_full_waits_{0};
+  std::atomic<std::uint64_t> stat_oom_dropped_{0};
 
   // Lazily created handles behind the convenience update()/quantile()
   // surface (single-threaded contract).  Declared last so they are destroyed

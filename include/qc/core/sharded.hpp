@@ -227,6 +227,17 @@ class ShardedQuancurrent {
       total.installs += st.installs;
       total.combined_installs += st.combined_installs;
       total.max_combine = std::max(total.max_combine, st.max_combine);
+      total.install_defers += st.install_defers;
+      total.queue_full_waits += st.queue_full_waits;
+      total.oom_dropped_items += st.oom_dropped_items;
+      total.latch_holds += st.latch_holds;
+      total.latch_hold_total_ns += st.latch_hold_total_ns;
+      // Shard latches are independent: the fleet-wide worst hold (and the
+      // oldest in-progress hold) is the worst shard's, not a sum.
+      total.latch_max_hold_ns = std::max(total.latch_max_hold_ns, st.latch_max_hold_ns);
+      total.latch_current_hold_ns =
+          std::max(total.latch_current_hold_ns, st.latch_current_hold_ns);
+      total.latch_watchdog_trips += st.latch_watchdog_trips;
     }
     return total;
   }
@@ -245,6 +256,14 @@ class ShardedQuancurrent {
       total.freed += st.freed;
       total.scans += st.scans;
       total.peak_unreclaimed = std::max(total.peak_unreclaimed, st.peak_unreclaimed);
+      total.forced_scans += st.forced_scans;
+      total.throttle_waits += st.throttle_waits;
+      total.retire_list_len += st.retire_list_len;
+      // Age is a point-in-time lag, so the fleet reports its slowest pin;
+      // degraded is sticky across the facade — one throttled shard degrades
+      // the fleet's ingest.
+      total.pinned_epoch_age = std::max(total.pinned_epoch_age, st.pinned_epoch_age);
+      total.degraded = total.degraded || st.degraded;
     }
     return total;
   }

@@ -40,6 +40,7 @@
 #include "common/rng.hpp"
 #include "core/options.hpp"
 #include "core/run_merge.hpp"
+#include "fault/inject.hpp"
 #include "serde/binary.hpp"
 
 namespace qc::sequential {
@@ -224,64 +225,93 @@ class QuantilesSketch {
       serde::set_status(status, serde::Status::bad_payload);
       return std::nullopt;
     }
-    QuantilesSketch sk(k);
-    sk.chunk_ = static_cast<std::size_t>(chunk);
-    sk.n_ = n;
-    sk.rng_.set_state(rng_state);
-    std::uint64_t base_count = 0;
-    if (!r.get(base_count)) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return std::nullopt;
-    }
-    if (base_count > 2 * static_cast<std::uint64_t>(k)) {
-      serde::set_status(status, serde::Status::bad_payload);
-      return std::nullopt;
-    }
-    // Bound the allocation by the bytes actually present (division so a
-    // crafted count cannot overflow the check) BEFORE resizing.
-    if (base_count > r.remaining() / sizeof(T)) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return std::nullopt;
-    }
-    sk.base_.resize(static_cast<std::size_t>(base_count));
-    if (!r.get_bytes(sk.base_.data(), sk.base_.size() * sizeof(T))) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return std::nullopt;
-    }
-    std::uint32_t num_levels = 0;
-    if (!r.get(num_levels)) {
-      serde::set_status(status, serde::Status::short_buffer);
-      return std::nullopt;
-    }
-    if (num_levels > 64) {
-      serde::set_status(status, serde::Status::bad_payload);
-      return std::nullopt;
-    }
-    sk.levels_.resize(num_levels);
-    for (auto& level : sk.levels_) {
-      std::uint8_t occupied = 0;
-      if (!r.get(occupied)) {
+    // Every allocation below is bounded by the bytes actually present, but a
+    // malformed input must still yield nullopt, never an escaping bad_alloc —
+    // the same contract (and the same injection point) as the concurrent
+    // engine's deserialize.
+    try {
+      QC_INJECT_OOM(deserialize_alloc);
+      QuantilesSketch sk(k);
+      sk.chunk_ = static_cast<std::size_t>(chunk);
+      sk.n_ = n;
+      sk.rng_.set_state(rng_state);
+      std::uint64_t base_count = 0;
+      if (!r.get(base_count)) {
         serde::set_status(status, serde::Status::short_buffer);
         return std::nullopt;
       }
-      if (occupied > 1) {
+      if (base_count > 2 * static_cast<std::uint64_t>(k)) {
         serde::set_status(status, serde::Status::bad_payload);
         return std::nullopt;
       }
-      if (occupied == 0) continue;
-      if (k > r.remaining() / sizeof(T)) {
+      // Bound the allocation by the bytes actually present (division so a
+      // crafted count cannot overflow the check) BEFORE resizing.
+      if (base_count > r.remaining() / sizeof(T)) {
         serde::set_status(status, serde::Status::short_buffer);
         return std::nullopt;
       }
-      level.resize(k);
-      if (!r.get_bytes(level.data(), level.size() * sizeof(T))) {
+      sk.base_.resize(static_cast<std::size_t>(base_count));
+      if (!r.get_bytes(sk.base_.data(), sk.base_.size() * sizeof(T))) {
         serde::set_status(status, serde::Status::short_buffer);
         return std::nullopt;
       }
+      // The base ships in ingestion order, but its completed chunk_-sized
+      // blocks are sorted in place by update() — the chunk-merge query path
+      // trusts exactly that, so a crafted image violating it is malformed.
+      if (sk.chunk_ > 1) {
+        for (std::size_t off = 0; off + sk.chunk_ <= sk.base_.size();
+             off += sk.chunk_) {
+          const auto first = sk.base_.begin() + static_cast<std::ptrdiff_t>(off);
+          if (!std::is_sorted(first, first + static_cast<std::ptrdiff_t>(sk.chunk_),
+                              sk.cmp_)) {
+            serde::set_status(status, serde::Status::bad_payload);
+            return std::nullopt;
+          }
+        }
+      }
+      std::uint32_t num_levels = 0;
+      if (!r.get(num_levels)) {
+        serde::set_status(status, serde::Status::short_buffer);
+        return std::nullopt;
+      }
+      if (num_levels > 64) {
+        serde::set_status(status, serde::Status::bad_payload);
+        return std::nullopt;
+      }
+      sk.levels_.resize(num_levels);
+      for (auto& level : sk.levels_) {
+        std::uint8_t occupied = 0;
+        if (!r.get(occupied)) {
+          serde::set_status(status, serde::Status::short_buffer);
+          return std::nullopt;
+        }
+        if (occupied > 1) {
+          serde::set_status(status, serde::Status::bad_payload);
+          return std::nullopt;
+        }
+        if (occupied == 0) continue;
+        if (k > r.remaining() / sizeof(T)) {
+          serde::set_status(status, serde::Status::short_buffer);
+          return std::nullopt;
+        }
+        level.resize(k);
+        if (!r.get_bytes(level.data(), level.size() * sizeof(T))) {
+          serde::set_status(status, serde::Status::short_buffer);
+          return std::nullopt;
+        }
+        // Level arrays are sorted runs by construction; see the base check.
+        if (!std::is_sorted(level.begin(), level.end(), sk.cmp_)) {
+          serde::set_status(status, serde::Status::bad_payload);
+          return std::nullopt;
+        }
+      }
+      sk.dirty_ = true;
+      serde::set_status(status, serde::Status::ok);
+      return sk;
+    } catch (const std::bad_alloc&) {
+      serde::set_status(status, serde::Status::bad_payload);
+      return std::nullopt;
     }
-    sk.dirty_ = true;
-    serde::set_status(status, serde::Status::ok);
-    return sk;
   }
 
  private:

@@ -27,11 +27,15 @@
 #include <span>
 #include <type_traits>
 
+#include "fault/inject.hpp"
+
 namespace qc::serde {
 
 inline constexpr std::uint32_t kMagic = 0x4B534351u;  // "QCSK"
-inline constexpr std::uint16_t kVersion = 2;  // v2: concurrent images carry
-                                              // the IBR + propagation knobs
+inline constexpr std::uint16_t kVersion = 3;  // v3: concurrent images carry
+                                              // the retire-cap + watchdog
+                                              // degradation knobs (v2: the
+                                              // IBR + propagation knobs)
 inline constexpr std::uint16_t kEndianness = 0x0102;
 // What a reader on a machine of the other byte order sees in each field of a
 // blob written natively here (and vice versa).
@@ -84,6 +88,10 @@ class Writer {
         return;
       }
       std::memcpy(buf_ + pos_, data, n);
+      // Chaos builds only: model a bit flip between serialization and
+      // deserialization (bad disk, bad NIC).  Corrupts the stored copy, never
+      // the caller's data; a measuring writer stores nothing to corrupt.
+      QC_INJECT_CORRUPT(serde_corrupt, buf_ + pos_, n);
     }
     pos_ += n;
   }

@@ -44,6 +44,83 @@ inline int run_all() {
 
 }  // namespace qc::test
 
+// ----- counting / failing global allocator (opt-in) --------------------------
+//
+// Define QC_TEST_ALLOC_HOOK in exactly one test binary to replace global
+// operator new/delete with a counting allocator that can fail the Nth
+// allocation on the calling thread.  This is how the exception-safety tests
+// PROVE a path survives an allocator failure at EVERY site: loop n = 1, 2, …
+// arming fail_nth(n) around the operation until an iteration completes
+// without the armed failure firing — every allocation the path performs has
+// then been failed once.
+//
+// The countdown is thread_local so a failure armed in the driver thread
+// never fires inside a concurrent helper thread, and the hook is exact-fit
+// for that purpose only: it is NOT async-signal-safe and keeps no per-block
+// metadata (counts allocations, not bytes).
+#if defined(QC_TEST_ALLOC_HOOK)
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace qc::test::alloc {
+
+// Total successful allocations process-wide (all threads).
+inline std::atomic<std::uint64_t> total{0};
+// Countdown to the armed failure: 0 = disarmed, 1 = fail the next allocation.
+inline thread_local std::uint64_t fail_countdown = 0;
+// Set when an armed failure fired (sticky until rearm).
+inline thread_local bool fired = false;
+
+// Arm: the nth allocation on THIS thread from now throws bad_alloc (n >= 1).
+inline void fail_nth(std::uint64_t n) {
+  fail_countdown = n;
+  fired = false;
+}
+inline void disarm() { fail_countdown = 0; }
+
+inline bool should_fail() {
+  if (fail_countdown == 0) return false;
+  if (--fail_countdown != 0) return false;
+  fired = true;
+  return true;
+}
+
+inline void* allocate(std::size_t size) {
+  if (should_fail()) throw std::bad_alloc{};
+  total.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace qc::test::alloc
+
+void* operator new(std::size_t size) { return qc::test::alloc::allocate(size); }
+void* operator new[](std::size_t size) { return qc::test::alloc::allocate(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return qc::test::alloc::allocate(size);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return qc::test::alloc::allocate(size);
+  } catch (const std::bad_alloc&) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#endif  // QC_TEST_ALLOC_HOOK
+
 #define QC_TEST(name)                                              \
   static void qc_test_##name();                                    \
   static ::qc::test::Registrar qc_registrar_##name(#name,          \

@@ -153,6 +153,28 @@ QC_TEST(ibr_frequencies_clamp_into_range) {
   CHECK(hi.validate().empty());
 }
 
+QC_TEST(retire_cap_clamps_to_one_drain_group_burst) {
+  // 0 means "no cap" and passes through untouched; a nonzero cap below
+  // kMinRetireCap could trip on a single drain group's retirement burst and
+  // is raised to the floor.  The watchdog threshold is a pure duration with
+  // no pathological values, so normalize() never touches it.
+  qc::core::Options off;
+  off.ibr_retire_cap = 0;
+  CHECK(off.normalize().empty());
+  CHECK_EQ(off.ibr_retire_cap, 0u);
+
+  qc::core::Options tight;
+  tight.ibr_retire_cap = 1;
+  const auto tlog = tight.normalize();
+  CHECK_EQ(tight.ibr_retire_cap, qc::core::Options::kMinRetireCap);
+  CHECK(adjusted_to(tlog, "ibr_retire_cap", qc::core::Options::kMinRetireCap));
+
+  qc::core::Options wd;
+  wd.latch_watchdog_ns = 1;  // absurdly twitchy, but legal
+  CHECK(wd.normalize().empty());
+  CHECK_EQ(wd.latch_watchdog_ns, std::uint64_t{1});
+}
+
 QC_TEST(serialize_propagation_is_not_a_clamped_field) {
   // The ablation control arm is a pure boolean switch: normalize() neither
   // rewrites nor reports it, in either position.

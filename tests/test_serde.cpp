@@ -155,6 +155,8 @@ QC_TEST(concurrent_roundtrip_preserves_ibr_options) {
   o.serialize_propagation = true;
   o.ibr_epoch_freq = 7;
   o.ibr_recl_freq = 9;
+  o.ibr_retire_cap = 128;        // serde v3 fields (offsets 43 and 47)
+  o.latch_watchdog_ns = 5'000'000;
   qc::Quancurrent<double> sk(o);
   for (int i = 0; i < 1'000; ++i) sk.update(static_cast<double>(i));
   sk.quiesce();
@@ -163,6 +165,8 @@ QC_TEST(concurrent_roundtrip_preserves_ibr_options) {
   CHECK(back->options().serialize_propagation);
   CHECK_EQ(back->options().ibr_epoch_freq, 7u);
   CHECK_EQ(back->options().ibr_recl_freq, 9u);
+  CHECK_EQ(back->options().ibr_retire_cap, 128u);
+  CHECK_EQ(back->options().latch_watchdog_ns, std::uint64_t{5'000'000});
 }
 
 QC_TEST(deserialize_rejects_unaffordable_preallocation) {
