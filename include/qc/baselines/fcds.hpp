@@ -17,11 +17,17 @@
 //     multiway-merged (core/run_merge.hpp RunMerger — the same primitive as
 //     Quancurrent's Gather&Sort, so the baseline is not a strawman), halved
 //     by odd/even sampling, and propagated up k-sized levels.
-//   * DOUBLE-BUFFERED SNAPSHOTS.  Every `publish_every` propagated elements
-//     the propagator rebuilds the query summary into the inactive snapshot
-//     buffer and flips the active index under a short mutex; queries answer
-//     from the active snapshot.  Between publishes, queries see a stale
-//     view — FCDS's query-side relaxation.
+//   * DOUBLE-BUFFERED SNAPSHOTS, WAIT-FREE READERS.  Every `publish_every`
+//     propagated elements the propagator rebuilds the query summary into the
+//     inactive snapshot buffer and flips the active index with one atomic
+//     store.  Readers take no lock: they pin the buffer they answer from
+//     with a per-buffer counter (pin, re-check the index, read, unpin), and
+//     the propagator waits for the inactive buffer's pins to drain before
+//     rebuilding it — so queries are wait-free (a reader retries at most
+//     once per flip it races) and the fig10 mixed-workload comparison is no
+//     longer handicapped by a snapshot mutex on the baseline's query path.
+//     Between publishes, queries see a stale view — FCDS's query-side
+//     relaxation.
 //
 // Relaxation: up to 2NB ingested elements (two B-buffers per worker) are
 // invisible to the propagator at any time (analysis/relaxation.hpp).
@@ -40,12 +46,12 @@
 // (destroyed or drain()ed); queries are safe concurrently with everything.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <type_traits>
@@ -188,26 +194,29 @@ class FcdsQuantiles {
   // Elements visible to queries right now (total weight of the active
   // snapshot); lags ingestion until the next publish or quiesce().
   std::uint64_t size() const {
-    std::lock_guard<std::mutex> lock(snap_mu_);
-    return snaps_[active_].total_weight();
+    return with_snapshot(
+        [](const WeightedSummaryT& snap) { return snap.total_weight(); });
   }
 
   T quantile(double phi) const {
-    std::lock_guard<std::mutex> lock(snap_mu_);
-    return core::summary_quantile(snaps_[active_], phi);
+    return with_snapshot([&](const WeightedSummaryT& snap) {
+      return core::summary_quantile(snap, phi);
+    });
   }
 
   std::uint64_t rank(const T& v) const {
-    std::lock_guard<std::mutex> lock(snap_mu_);
-    return core::summary_rank(snaps_[active_], v, cmp_);
+    return with_snapshot([&](const WeightedSummaryT& snap) {
+      return core::summary_rank(snap, v, cmp_);
+    });
   }
 
   double cdf(const T& v) const {
-    std::lock_guard<std::mutex> lock(snap_mu_);
-    const std::uint64_t total = snaps_[active_].total_weight();
-    return total == 0 ? 0.0
-                      : static_cast<double>(core::summary_rank(snaps_[active_], v, cmp_)) /
-                            static_cast<double>(total);
+    return with_snapshot([&](const WeightedSummaryT& snap) {
+      const std::uint64_t total = snap.total_weight();
+      return total == 0 ? 0.0
+                        : static_cast<double>(core::summary_rank(snap, v, cmp_)) /
+                              static_cast<double>(total);
+    });
   }
 
   // Snapshot publishes performed so far (diagnostics).
@@ -301,13 +310,40 @@ class FcdsQuantiles {
     sequential::ladder_propagate(levels_, std::move(carry), 1u, rng_, cmp_);
   }
 
+  // Reader side of the pin protocol: pick the active snapshot, pin it, then
+  // RE-CHECK the index — a flip between the load and the pin would otherwise
+  // let the propagator rebuild the buffer under the reader.  seq_cst on the
+  // four racing operations (pin, re-check, flip, drain-check) closes the
+  // classic store/load reordering window where the reader still sees the old
+  // index while the propagator already sees a zero pin count — the same
+  // discipline the engine's IBR announce/publish pair uses.  Readers never
+  // block: a lost race costs one retry, and the index cannot flip again
+  // until the propagator has drained this buffer's pins, so the second
+  // attempt always lands.
+  template <typename Fn>
+  auto with_snapshot(Fn&& fn) const {
+    for (;;) {
+      const std::uint32_t idx = active_.load(std::memory_order_seq_cst);
+      snap_pins_[idx].fetch_add(1, std::memory_order_seq_cst);
+      if (active_.load(std::memory_order_seq_cst) == idx) {
+        auto result = fn(snaps_[idx]);
+        snap_pins_[idx].fetch_sub(1, std::memory_order_release);
+        return result;
+      }
+      snap_pins_[idx].fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
   // Rebuilds the query summary into the inactive snapshot buffer, then flips
-  // the active index under the mutex.  Readers hold the mutex for the whole
-  // answer and only ever touch the active buffer, so the unlocked rebuild
-  // below never races a reader: the buffer being written has been inactive
-  // since the previous flip.
+  // the active index — no mutex anywhere (wait-free readers, see
+  // with_snapshot).  The wait below is propagator-only and bounded: it
+  // drains stragglers still pinning the buffer about to be rebuilt; new
+  // readers pin the active buffer, so the count can only fall.
   void publish() {
-    WeightedSummaryT& snap = snaps_[active_ ^ 1];
+    const std::uint32_t next = active_.load(std::memory_order_relaxed) ^ 1;
+    Backoff drain;
+    while (snap_pins_[next].load(std::memory_order_seq_cst) != 0) drain.spin();
+    WeightedSummaryT& snap = snaps_[next];
     runs_.clear();
     for (std::size_t i = 0; i < base_starts_.size(); ++i) {
       const std::size_t start = base_starts_[i];
@@ -320,10 +356,7 @@ class FcdsQuantiles {
       runs_.push_back({levels_[i].data(), levels_[i].size(), 1ULL << (i + 1)});
     }
     snap_merger_.merge(std::span<const core::RunRef<T>>(runs_), snap, cmp_);
-    {
-      std::lock_guard<std::mutex> lock(snap_mu_);
-      active_ ^= 1;
-    }
+    active_.store(next, std::memory_order_seq_cst);
     publishes_.fetch_add(1, std::memory_order_acq_rel);
     since_publish_ = 0;
   }
@@ -347,11 +380,12 @@ class FcdsQuantiles {
   core::RunMerger<T, Compare> snap_merger_;
   std::uint64_t since_publish_ = 0;
 
-  // Double-buffered published snapshots; active_ guarded by snap_mu_ (the
-  // propagator, the only writer, also reads it unlocked).
-  mutable std::mutex snap_mu_;
+  // Double-buffered published snapshots.  Readers pin the buffer they answer
+  // from (snap_pins_), so a flip is one atomic index store and queries are
+  // wait-free — the snapshot mutex this slot used to hold is gone.
   WeightedSummaryT snaps_[2];
-  std::uint32_t active_ = 0;
+  mutable std::array<std::atomic<std::uint64_t>, 2> snap_pins_{};
+  std::atomic<std::uint32_t> active_{0};
   std::atomic<std::uint64_t> publishes_{0};
 
   std::atomic<bool> publish_req_{false};

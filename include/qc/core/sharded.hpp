@@ -62,6 +62,22 @@ class ShardedQuancurrent {
     }
   }
 
+  // Restore path (recovery/checkpoint.hpp): wraps already-built shards in a
+  // facade WITHOUT re-routing them through merge, so a same-shard-count
+  // restore is bit-exact per shard.  Null when `shards` is empty or holds a
+  // null; the shards should share options (the constructor-built invariant —
+  // the recovery decoder deserializes every shard from one checkpoint, which
+  // guarantees it), and the first shard's options become the facade's.
+  static std::unique_ptr<ShardedQuancurrent> adopt(
+      std::vector<std::unique_ptr<Shard>> shards) {
+    if (shards.empty()) return nullptr;
+    for (const auto& s : shards) {
+      if (s == nullptr) return nullptr;
+    }
+    return std::unique_ptr<ShardedQuancurrent>(
+        new ShardedQuancurrent(std::move(shards)));
+  }
+
   std::uint32_t num_shards() const { return static_cast<std::uint32_t>(shards_.size()); }
   Shard& shard(std::uint32_t s) { return *shards_[s]; }
   const Shard& shard(std::uint32_t s) const { return *shards_[s]; }
@@ -269,6 +285,9 @@ class ShardedQuancurrent {
   }
 
  private:
+  explicit ShardedQuancurrent(std::vector<std::unique_ptr<Shard>> shards)
+      : shards_(std::move(shards)) {}
+
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -53,6 +53,14 @@ enum class Point : std::uint8_t {
                           // reservation and its commit
   serde_corrupt,          // serde::Writer::put_bytes(): flip one bit in an
                           // emitted byte
+  short_write,            // recovery/io.hpp write_all(): a write(2) segment
+                          // tears — half lands, then the device errors
+  fsync_fail,             // recovery/io.hpp fsync_file()/fsync_dir(): fsync
+                          // reports failure before reaching stable storage
+  rename_fail,            // recovery/io.hpp rename_file(): the atomic
+                          // publish rename fails
+  read_corrupt,           // recovery/io.hpp read_file(): one bit of the
+                          // loaded checkpoint image rots
   kCount,
 };
 
@@ -70,6 +78,10 @@ inline const char* point_name(Point p) {
     case Point::querier_stall: return "querier_stall";
     case Point::gather_stall: return "gather_stall";
     case Point::serde_corrupt: return "serde_corrupt";
+    case Point::short_write: return "short_write";
+    case Point::fsync_fail: return "fsync_fail";
+    case Point::rename_fail: return "rename_fail";
+    case Point::read_corrupt: return "read_corrupt";
     case Point::kCount: break;
   }
   return "unknown";
@@ -175,6 +187,20 @@ class Injector {
     }
   }
 
+  // I/O failure point: decides whether a filesystem operation fails.  A fired
+  // point first runs the stall handler when one is installed — the kill -9
+  // crash harness installs `raise(SIGKILL)` there, so the process dies AT the
+  // exact syscall (mid-write, pre-rename, between rename and dir-fsync) — and
+  // then reports `true`: a transient I/O error for the caller's retry/backoff
+  // path.  Unlike stall(), a fired fail point never sleeps by default; the
+  // failure IS the injection.
+  bool fail_point(Point p) {
+    if (!should_fire(p)) return false;
+    const StallHandler fn = stall_fn_.load(std::memory_order_acquire);
+    if (fn != nullptr) fn(p, stall_ctx_.load(std::memory_order_relaxed));
+    return true;
+  }
+
   // Corruption point: flips one deterministically chosen bit in [data, data+n).
   void corrupt(Point p, void* data, std::size_t n) {
     if (n == 0 || !should_fire(p)) return;
@@ -260,11 +286,16 @@ class Injector {
   ::qc::fault::Injector::instance().stall(::qc::fault::Point::point)
 #define QC_INJECT_CORRUPT(point, data, n) \
   ::qc::fault::Injector::instance().corrupt(::qc::fault::Point::point, (data), (n))
+// Evaluates to true when the I/O operation at this point should fail (and, in
+// the crash harness, may not return at all — the handler SIGKILLs here).
+#define QC_INJECT_IO_FAIL(point) \
+  ::qc::fault::Injector::instance().fail_point(::qc::fault::Point::point)
 
 #else  // !QC_FAULT_INJECT
 
 #define QC_INJECT_OOM(point) static_cast<void>(0)
 #define QC_INJECT_STALL(point) static_cast<void>(0)
 #define QC_INJECT_CORRUPT(point, data, n) static_cast<void>(0)
+#define QC_INJECT_IO_FAIL(point) false
 
 #endif  // QC_FAULT_INJECT

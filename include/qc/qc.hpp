@@ -37,6 +37,14 @@
 //   std::vector<std::byte> blob(sk.serialized_size());
 //   sk.serialize(blob);
 //   auto copy = qc::Quancurrent<double>::deserialize(blob);
+//
+//   // Durability (qc::recovery, see README "Durability & recovery"):
+//   // crash-safe checkpoints of a live sketch and torn-write-proof restore.
+//   qc::recovery::Checkpointer ck(sk, {.dir = "/var/lib/myapp/ckpt"});
+//   ck.checkpoint();                      // temp + fsync + rename, retried
+//   qc::recovery::RecoveryReport rep;
+//   auto restored = qc::recovery::recover<double>("/var/lib/myapp/ckpt",
+//                                                 "sketch", &rep);
 #pragma once
 
 #include <concepts>
@@ -50,6 +58,7 @@
 #include "core/quancurrent.hpp"
 #include "core/run_merge.hpp"
 #include "core/sharded.hpp"
+#include "recovery/checkpoint.hpp"
 #include "sequential/quantiles_sketch.hpp"
 #include "serde/binary.hpp"
 

@@ -1,0 +1,66 @@
+// CRC32C (Castagnoli) — the checksum framing every checkpoint-container
+// chunk (recovery/container.hpp).
+//
+// Why Castagnoli and not the zlib polynomial: 0x1EDC6F41 has better Hamming
+// distance at the block sizes a checkpoint chunk actually is (up to a few MB)
+// and is the polynomial storage formats standardized on (iSCSI, ext4, Btrfs,
+// LevelDB tables), so a container inspected by external tooling checks out.
+//
+// Software path: a constexpr-generated 256-entry reflected table, one byte
+// per step — ~1 GB/s, far above checkpoint I/O rates.  When the TU is built
+// with SSE4.2 enabled the hardware crc32 instruction takes over (8 bytes per
+// step); both paths produce identical digests (the known-answer test in
+// test_recovery pins the standard vector "123456789" -> 0xE3069283).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace qc::recovery {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+// Digest of [data, data+n).  Pass a previous digest as `seed` to checksum a
+// discontiguous byte sequence incrementally: crc32c(b, crc32c(a)) equals
+// crc32c(a ++ b).
+inline std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    crc = static_cast<std::uint32_t>(_mm_crc32_u64(crc, word));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) crc = _mm_crc32_u8(crc, *p++);
+#else
+  while (n-- != 0) crc = detail::kCrc32cTable[(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+#endif
+  return ~crc;
+}
+
+}  // namespace qc::recovery

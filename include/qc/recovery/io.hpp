@@ -1,0 +1,113 @@
+// POSIX I/O for the checkpoint subsystem, with every failure mode behind a
+// named fault point (fault/inject.hpp) so the crash harness can fail — or
+// SIGKILL the process at — any individual syscall deterministically:
+//
+//   short_write  write_all(): a segment tears (half lands, then EIO)
+//   fsync_fail   fsync_file() / fsync_dir(): data never reaches stable media
+//   rename_fail  rename_file(): the atomic publish step fails
+//   read_corrupt read_file(): a bit of the loaded image rots in transit
+//
+// All functions return false with errno set on failure and never throw;
+// retry policy (bounded exponential backoff) belongs to the caller
+// (recovery/checkpoint.hpp), not here.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <vector>
+
+#include "fault/inject.hpp"
+
+namespace qc::recovery::io {
+
+// Writes in bounded segments rather than one write(2): a crash (or an
+// injected short_write) then lands mid-file with a real prefix on disk —
+// exactly the torn state the container's commit record must catch — and
+// partial-progress returns from write(2) are handled uniformly.
+inline constexpr std::size_t kWriteSegmentBytes = 64 * 1024;
+
+inline bool write_all(int fd, const std::byte* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t len = std::min(kWriteSegmentBytes, n - off);
+    if (QC_INJECT_IO_FAIL(short_write)) {
+      // Torn write: half the segment reaches the file, then the device
+      // errors.  The dirty temp file is left for recovery to judge.
+      if (len / 2 > 0) {
+        [[maybe_unused]] const ::ssize_t ignored = ::write(fd, data + off, len / 2);
+      }
+      errno = EIO;
+      return false;
+    }
+    const ::ssize_t w = ::write(fd, data + off, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+inline bool fsync_file(int fd) {
+  if (QC_INJECT_IO_FAIL(fsync_fail)) {
+    errno = EIO;
+    return false;
+  }
+  return ::fsync(fd) == 0;
+}
+
+// Durability of the rename itself: without fsyncing the parent directory a
+// power cut can forget the new directory entry even though the file data is
+// safe.  Shares the fsync_fail point with fsync_file(): in a checkpoint
+// attempt the file fsync is hit 1 and the directory fsync hit 2, so arm_hit
+// distinguishes a crash before the rename from one after it.
+inline bool fsync_dir(const char* dir) {
+  if (QC_INJECT_IO_FAIL(fsync_fail)) {
+    errno = EIO;
+    return false;
+  }
+  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+inline bool rename_file(const char* from, const char* to) {
+  if (QC_INJECT_IO_FAIL(rename_fail)) {
+    errno = EIO;
+    return false;
+  }
+  return ::rename(from, to) == 0;
+}
+
+// Loads a whole file into `out`.  read_corrupt models rot between write and
+// read (a bad sector, a flipped bit in transit): one bit of the loaded image
+// flips, which the container's chunk CRCs must then catch.
+inline bool read_file(const char* path, std::vector<std::byte>& out) {
+  const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out.clear();
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ::ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  QC_INJECT_CORRUPT(read_corrupt, out.data(), out.size());
+  return true;
+}
+
+}  // namespace qc::recovery::io

@@ -99,6 +99,38 @@ void run_one(const std::uint8_t* data, std::size_t size) {
       }
     }
   }
+  // Framed checkpoint container (recovery-layer sharded serde).  The CRC
+  // framing rejects nearly all mutations before any engine decode runs;
+  // whatever parses carries per-shard v3 blobs, which get the same expense
+  // guard as the bare images above.
+  {
+    qc::recovery::Parsed parsed;
+    if (qc::recovery::parse_container(in, parsed).ok() &&
+        parsed.shard_blobs.size() <= 8) {
+      bool costly = false;
+      for (const auto blob : parsed.shard_blobs) {
+        if (too_expensive(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                          blob.size())) {
+          costly = true;
+          break;
+        }
+      }
+      if (!costly) {
+        auto sh = qc::recovery::deserialize_sharded<double>(in);
+        if (sh != nullptr) {
+          auto q = sh->make_querier();
+          if (q.size() > 0) (void)q.quantile(0.5);
+          const auto rt = qc::recovery::serialize_sharded(*sh);
+          if (qc::recovery::deserialize_sharded<double>(rt) == nullptr) {
+            __builtin_trap();
+          }
+        }
+        // Re-routed restore into a different width exercises the merge
+        // bridge; rejection (e.g. mismatched shard k) is legal, crash is not.
+        (void)qc::recovery::deserialize_sharded<double>(in, 2);
+      }
+    }
+  }
   // Item-width probe: the same bytes read as a float sketch must fail on the
   // item-size header field, not misindex (a historic class of serde bug).
   (void)qc::Quancurrent<float>::deserialize(in);
@@ -148,6 +180,30 @@ std::vector<std::vector<std::uint8_t>> seed_corpus() {
       keep(simg);
     }
   }
+  // Framed checkpoint containers (recovery/container.hpp): sharded images at
+  // several widths plus a single-kind checkpoint, so the fuzzer starts with
+  // valid CRC framing instead of rediscovering CRC32C one bit at a time.
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    qc::Options o;
+    o.k = 64;
+    o.b = 8;
+    qc::ShardedQuancurrent<double> sh(shards, o);
+    {
+      auto u = sh.make_hash_updater();
+      for (int i = 0; i < 2000; ++i) u.update(static_cast<double>(i));
+    }
+    sh.quiesce();
+    keep(qc::recovery::serialize_sharded(sh, 9));
+  }
+  {
+    qc::Options o;
+    o.k = 64;
+    o.b = 8;
+    qc::Quancurrent<double> cs(o);
+    for (int i = 0; i < 1000; ++i) cs.update(static_cast<double>(i));
+    cs.quiesce();
+    keep(qc::recovery::encode_checkpoint(cs, 5));
+  }
   return corpus;
 }
 
@@ -193,6 +249,74 @@ int self_test() {
       ++runs;
     }
   }
+  // Targeted framed-container mutations, beyond the strided generic pass:
+  // exact chunk-boundary truncations (walking the real chunk headers),
+  // per-chunk CRC flips, and commit-record stripping/duplication.  Each must
+  // be REJECTED by parse_container — asserted, not merely survived — and is
+  // also fed through the full harness entry point.
+  std::size_t framed = 0;
+  for (const auto& seed : corpus) {
+    if (seed.size() < 16 || peek_u32(seed.data(), 0) != qc::recovery::kContainerMagic) {
+      continue;
+    }
+    ++framed;
+    const std::span<const std::byte> img(
+        reinterpret_cast<const std::byte*>(seed.data()), seed.size());
+    qc::recovery::Parsed parsed;
+    if (!qc::recovery::parse_container(img, parsed).ok()) __builtin_trap();
+    std::vector<std::size_t> bounds;  // offset of each chunk header
+    std::size_t off = qc::recovery::kFileHeaderBytes;
+    while (off + qc::recovery::kChunkHeaderBytes <= seed.size()) {
+      bounds.push_back(off);
+      std::uint64_t len = 0;
+      std::memcpy(&len, seed.data() + off + 8, sizeof(len));
+      off += qc::recovery::kChunkHeaderBytes + static_cast<std::size_t>(len);
+    }
+    for (const std::size_t b : bounds) {
+      for (const std::size_t cut : {b, b + 7, b + qc::recovery::kChunkHeaderBytes}) {
+        if (cut >= seed.size()) continue;
+        if (qc::recovery::parse_container(img.first(cut), parsed).ok()) {
+          __builtin_trap();
+        }
+        run_one(seed.data(), cut);
+        ++runs;
+      }
+      // Flip the chunk's stored CRC: bad_chunk_crc at this chunk.
+      std::vector<std::uint8_t> mut = seed;
+      mut[b + 4] ^= 0x01;
+      if (qc::recovery::parse_container(
+              std::span<const std::byte>(
+                  reinterpret_cast<const std::byte*>(mut.data()), mut.size()),
+              parsed)
+              .ok()) {
+        __builtin_trap();
+      }
+      run_one(mut.data(), mut.size());
+      ++runs;
+    }
+    // Strip the commit record: a never-sealed file.
+    const std::size_t commit = bounds.back();
+    if (qc::recovery::parse_container(img.first(commit), parsed).status !=
+        qc::recovery::Verify::missing_commit) {
+      __builtin_trap();
+    }
+    run_one(seed.data(), commit);
+    // Duplicate it: bytes after the seal are not a committed state.
+    std::vector<std::uint8_t> dup = seed;
+    dup.insert(dup.end(), seed.begin() + static_cast<std::ptrdiff_t>(commit),
+               seed.end());
+    if (qc::recovery::parse_container(
+            std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(dup.data()), dup.size()),
+            parsed)
+            .status != qc::recovery::Verify::trailing_data) {
+      __builtin_trap();
+    }
+    run_one(dup.data(), dup.size());
+    runs += 2;
+  }
+  if (framed == 0) __builtin_trap();  // the corpus must carry framed seeds
+
   std::printf("fuzz_serde: self-test ran %zu inputs clean\n", runs);
   return 0;
 }

@@ -204,6 +204,68 @@ QC_TEST(fcds_concurrent_ingest_with_live_queries) {
   }
 }
 
+QC_TEST(fcds_wait_free_reader_sees_monotone_snapshots) {
+  // The snapshot path is a pinned double-buffer swap (no mutex): readers pin
+  // a buffer, re-check the active index, and read; the propagator drains the
+  // inactive buffer's pins before rebuilding it and flips with one store.
+  // Two properties fall out and are asserted here while a publish storm runs
+  // (publish_every = 1 buffer, several live readers):
+  //   * every read is a CONSISTENT snapshot — quantile(0.25) <= quantile(0.75)
+  //     answered from one summary, never a half-rebuilt one, and
+  //   * a reader's successive size() calls are monotone non-decreasing —
+  //     the flip only ever installs a strictly newer snapshot.
+  const std::uint32_t k = 64;
+  const std::uint32_t workers = 2;
+  const std::uint32_t readers = 3;
+  const std::uint64_t per_worker = 30'000;
+  const std::uint64_t n = workers * per_worker;
+  const auto data = stream::make_stream(stream::Distribution::kUniform, n, 91);
+
+  fcds::FcdsQuantiles<double>::Options fo;
+  fo.k = k;
+  fo.worker_buffer = 128;
+  fo.num_workers = workers;
+  fo.publish_every = 1;  // republish on every handed-off buffer
+  fcds::FcdsQuantiles<double> f(fo);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> pool;
+  for (std::uint32_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&] {
+      std::uint64_t last_size = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::uint64_t s = f.size();
+        CHECK(s >= last_size);
+        last_size = s;
+        if (s != 0) {
+          const double lo = f.quantile(0.25);
+          const double hi = f.quantile(0.75);
+          CHECK(lo <= hi);
+          CHECK(lo >= 0.0 && hi < 1.0);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      auto up = f.make_updater(w);
+      for (std::uint64_t i = w * per_worker; i < (w + 1) * per_worker; ++i) {
+        up.update(data[i]);
+      }
+    });
+  }
+  for (std::size_t t = readers; t < pool.size(); ++t) pool[t].join();
+  f.quiesce();
+  done.store(true, std::memory_order_release);
+  for (std::uint32_t r = 0; r < readers; ++r) pool[r].join();
+
+  CHECK_EQ(f.size(), n);
+  CHECK(f.publishes() > 10);  // the storm actually flipped buffers repeatedly
+  CHECK(reads.load() > 0);
+}
+
 // ----- Theta -----------------------------------------------------------------
 
 QC_TEST(theta_estimate_within_kmv_error) {

@@ -317,4 +317,55 @@ QC_TEST(deserialize_rejects_truncation_at_every_prefix_length) {
   }
 }
 
+// ----- framed container over v3 blobs (recovery/container.hpp) ---------------
+
+QC_TEST(framed_container_rejects_manifest_shard_mismatch) {
+  qc::Quancurrent<double> sk(small_options(64, 8));
+  for (int i = 0; i < 2000; ++i) sk.update(static_cast<double>(i));
+  sk.quiesce();
+  const auto blob = qc::to_bytes(sk);
+
+  // Manifest promises three shards; only two chunks follow.  Every chunk
+  // passes its own CRC and the commit record is honest about what was
+  // written, so only the manifest/shard cross-check can catch it.
+  qc::recovery::ContainerWriter promise(1);
+  promise.add_manifest(qc::recovery::SketchKind::sharded, 3, 2 * sk.size());
+  promise.add_shard(0, blob);
+  promise.add_shard(1, blob);
+  std::string why;
+  CHECK(qc::recovery::deserialize_sharded<double>(std::move(promise).finish(), 0,
+                                                  &why) == nullptr);
+  CHECK(why == "shard_chunk_mismatch");
+
+  // Shard chunks must be sequential from zero — reordered or renumbered
+  // chunks reject even though each chunk is individually intact.
+  qc::recovery::ContainerWriter reorder(1);
+  reorder.add_manifest(qc::recovery::SketchKind::sharded, 2, 2 * sk.size());
+  reorder.add_shard(1, blob);
+  reorder.add_shard(0, blob);
+  why.clear();
+  CHECK(qc::recovery::deserialize_sharded<double>(std::move(reorder).finish(), 0,
+                                                  &why) == nullptr);
+  CHECK(why == "shard_chunk_mismatch");
+}
+
+QC_TEST(framed_container_reports_failing_shard_decode) {
+  // A corrupt v3 blob INSIDE an intact frame: the container CRC is computed
+  // over the already-rotten bytes so the frame verifies, and the failure
+  // surfaces from the per-shard engine decode with the shard named.
+  qc::Quancurrent<double> sk(small_options(64, 8));
+  for (int i = 0; i < 500; ++i) sk.update(static_cast<double>(i));
+  sk.quiesce();
+  auto blob = qc::to_bytes(sk);
+  blob[0] ^= std::byte{0x01};  // break the v3 magic
+
+  qc::recovery::ContainerWriter w(1);
+  w.add_manifest(qc::recovery::SketchKind::sharded, 1, sk.size());
+  w.add_shard(0, blob);
+  std::string why;
+  CHECK(qc::recovery::deserialize_sharded<double>(std::move(w).finish(), 0,
+                                                  &why) == nullptr);
+  CHECK(why == "shard 0: bad_magic");
+}
+
 QC_TEST_MAIN()

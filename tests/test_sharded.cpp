@@ -164,4 +164,60 @@ QC_TEST(sharded_queries_live_during_ingest) {
   CHECK_EQ(q.size(), n);
 }
 
+// ----- sharded serde (the recovery container as in-memory facade serde) -----
+
+QC_TEST(sharded_serde_roundtrip_is_bit_identical_per_shard) {
+  const std::uint32_t k = 128;
+  qc::ShardedQuancurrent<double> sk(3, small_options(k, 8));
+  const auto data = qc::stream::make_stream(Distribution::kUniform, 30'000, 21);
+  {
+    auto u = sk.make_hash_updater();
+    for (double v : data) u.update(v);
+  }
+  sk.quiesce();
+
+  const auto img = qc::recovery::serialize_sharded(sk, 42);
+  auto rt = qc::recovery::deserialize_sharded<double>(img);
+  CHECK(rt != nullptr);
+  if (rt == nullptr) return;
+  // Same width restores via adopt(): no merge, no re-route — every shard
+  // re-serializes to the exact bytes it was stored as.
+  CHECK_EQ(rt->num_shards(), 3u);
+  CHECK_EQ(rt->size(), sk.size());
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    CHECK(qc::to_bytes(rt->shard(s)) == qc::to_bytes(sk.shard(s)));
+  }
+}
+
+QC_TEST(sharded_restore_reroutes_into_different_width) {
+  const std::uint32_t k = 128;
+  const std::uint64_t n = 40'000;
+  const auto data = qc::stream::make_stream(Distribution::kUniform, n, 77);
+  qc::ShardedQuancurrent<double> sk(4, small_options(k, 8));
+  {
+    auto u = sk.make_hash_updater();
+    for (double v : data) u.update(v);
+  }
+  sk.quiesce();
+  const auto img = qc::recovery::serialize_sharded(sk);
+  qc::stream::ExactQuantiles<double> exact{std::vector<double>(data)};
+
+  // Shrinking and growing the serving tier both bridge via merge_into: total
+  // weight is conserved and answers stay inside the merged-error envelope.
+  for (const std::uint32_t want : {2u, 8u}) {
+    auto rt = qc::recovery::deserialize_sharded<double>(img, want);
+    CHECK(rt != nullptr);
+    if (rt == nullptr) continue;
+    CHECK_EQ(rt->num_shards(), want);
+    CHECK_EQ(rt->size(), n);
+    auto q = rt->make_querier();
+    double max_err = 0.0;
+    for (int i = 1; i < 50; ++i) {
+      const double phi = static_cast<double>(i) / 50.0;
+      max_err = std::max(max_err, exact.rank_error(q.quantile(phi), phi));
+    }
+    CHECK(max_err < 16.0 / static_cast<double>(k));
+  }
+}
+
 QC_TEST_MAIN()
