@@ -40,11 +40,15 @@ class Tritmap {
 
   // Number of k-arrays installed at `level` (0..2).
   constexpr std::uint32_t trit(std::uint32_t level) const {
+    // qc-lint-allow(qc-check-over-assert): constexpr context — QC_CHECK's
+    // fprintf/abort path is not constant-evaluable, and an oversized level
+    // only yields a wrong shift result here, not a wrong memory access.
     assert(level < kMaxLevels);
     return static_cast<std::uint32_t>(raw_ >> (2 * level)) & kTritMask;
   }
 
   constexpr Tritmap with_trit(std::uint32_t level, std::uint32_t value) const {
+    // qc-lint-allow(qc-check-over-assert): constexpr context (see trit()).
     assert(level < kMaxLevels);
     assert(value <= 2);
     const std::uint64_t mask = static_cast<std::uint64_t>(kTritMask) << (2 * level);
@@ -54,12 +58,16 @@ class Tritmap {
   // A full 2k batch is installed at level 0.  Requires level 0 empty (the
   // propagation cascade always drains level 0 before the next batch).
   constexpr Tritmap after_batch_update() const {
+    // qc-lint-allow(qc-check-over-assert): constexpr context, and a
+    // violated cascade invariant miscounts levels — wrong answer, no unsafe
+    // access (the memory-safety checks live at the install sites).
     assert(trit(0) == 0);
     return with_trit(0, 2);
   }
 
   // The two arrays at `level` are compacted into one array at `level + 1`.
   constexpr Tritmap after_install_propagation(std::uint32_t level) const {
+    // qc-lint-allow(qc-check-over-assert): constexpr context (see above).
     assert(trit(level) == 2);
     assert(trit(level + 1) < 2);
     return with_trit(level, 0).with_trit(level + 1, trit(level + 1) + 1);

@@ -58,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/backoff.hpp"
 #include "common/rng.hpp"
 #include "core/batch_sort.hpp"
@@ -121,6 +122,8 @@ class FcdsQuantiles {
           b_(sketch.opts_.worker_buffer) {
       // Two updaters sharing a slot race on its buffers; the modulo above
       // keeps a release build in-bounds, but the misuse must fail fast.
+      // qc-lint-allow(qc-check-over-assert): the modulo makes Release
+      // memory-safe regardless; the assert only names the misuse in debug.
       assert(worker_index < sketch.opts_.num_workers &&
              "one Updater per worker slot: index must be < num_workers");
     }
@@ -246,6 +249,11 @@ class FcdsQuantiles {
   // preserves each worker's stream order), feeds the ladder, and publishes
   // snapshots on cadence or on request.
   void propagate_loop() {
+    // Assume the propagator role: every QC_GUARDED_BY(propagator_role_)
+    // field below is now legal to touch, and ONLY from this function's call
+    // tree — "a second thread rebuilds the ladder" (the PR 8 flip-race class)
+    // becomes a compile error under -Wthread-safety instead of a TSan find.
+    propagator_role_.assume();
     std::vector<std::uint32_t> next(slots_.size(), 0);
     Backoff idle;
     for (;;) {
@@ -268,14 +276,17 @@ class FcdsQuantiles {
         idle.reset();
         continue;
       }
-      if (stop_.load(std::memory_order_acquire)) return;
+      if (stop_.load(std::memory_order_acquire)) {
+        propagator_role_.release();
+        return;
+      }
       idle.spin();
     }
   }
 
   // Appends one sorted worker buffer to the 2k base as (up to two) sorted
   // runs, compacting whenever the base fills.  Propagator-only.
-  void ingest_sorted(std::span<const T> sorted) {
+  void ingest_sorted(std::span<const T> sorted) QC_REQUIRES(propagator_role_) {
     std::size_t off = 0;
     while (off < sorted.size()) {
       const std::size_t take =
@@ -292,7 +303,7 @@ class FcdsQuantiles {
   // Multiway-merges the base's sorted runs into the sorted 2k batch (the
   // same RunMerger primitive Quancurrent's query engine uses), halves it by
   // odd/even sampling, and propagates the carry up the ladder.
-  void compact_base() {
+  void compact_base() QC_REQUIRES(propagator_role_) {
     runs_.clear();
     for (std::size_t i = 0; i < base_starts_.size(); ++i) {
       const std::size_t start = base_starts_[i];
@@ -339,7 +350,7 @@ class FcdsQuantiles {
   // with_snapshot).  The wait below is propagator-only and bounded: it
   // drains stragglers still pinning the buffer about to be rebuilt; new
   // readers pin the active buffer, so the count can only fall.
-  void publish() {
+  void publish() QC_REQUIRES(propagator_role_) {
     const std::uint32_t next = active_.load(std::memory_order_relaxed) ^ 1;
     Backoff drain;
     while (snap_pins_[next].load(std::memory_order_seq_cst) != 0) drain.spin();
@@ -366,19 +377,27 @@ class FcdsQuantiles {
   Options opts_;
   std::uint64_t cap_ = 0;  // base batch size: 2k
   Compare cmp_;
-  Xoshiro256 rng_;  // compaction coins; propagator-only after construction
+  Xoshiro256 rng_ QC_GUARDED_BY(propagator_role_);  // compaction coins
 
   std::vector<std::unique_ptr<Slot>> slots_;
 
-  // Propagator-private ladder state.
-  std::vector<T> base_;                  // weight-1 items, a sequence of sorted runs
-  std::vector<std::size_t> base_starts_;  // start offset of each sorted run
-  std::vector<T> merged_;                 // sorted 2k batch scratch
-  std::vector<std::vector<T>> levels_;    // levels_[i]: k items of weight 2^(i+1)
-  std::vector<core::RunRef<T>> runs_;
-  core::RunMerger<T, Compare> merger_;
-  core::RunMerger<T, Compare> snap_merger_;
-  std::uint64_t since_publish_ = 0;
+  // Propagator-private ladder state, statically fenced off behind a phantom
+  // role capability (common/annotations.hpp): the writer-side flip in
+  // publish() and every ladder rebuild require the role only propagate_loop
+  // assumes.
+  sync::Role propagator_role_;
+  // weight-1 items, a sequence of sorted runs
+  std::vector<T> base_ QC_GUARDED_BY(propagator_role_);
+  // start offset of each sorted run
+  std::vector<std::size_t> base_starts_ QC_GUARDED_BY(propagator_role_);
+  // sorted 2k batch scratch
+  std::vector<T> merged_ QC_GUARDED_BY(propagator_role_);
+  // levels_[i]: k items of weight 2^(i+1)
+  std::vector<std::vector<T>> levels_ QC_GUARDED_BY(propagator_role_);
+  std::vector<core::RunRef<T>> runs_ QC_GUARDED_BY(propagator_role_);
+  core::RunMerger<T, Compare> merger_ QC_GUARDED_BY(propagator_role_);
+  core::RunMerger<T, Compare> snap_merger_ QC_GUARDED_BY(propagator_role_);
+  std::uint64_t since_publish_ QC_GUARDED_BY(propagator_role_) = 0;
 
   // Double-buffered published snapshots.  Readers pin the buffer they answer
   // from (snap_pins_), so a flip is one atomic index store and queries are

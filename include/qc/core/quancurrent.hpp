@@ -144,6 +144,7 @@
 #include <vector>
 
 #include "atomics/tritmap.hpp"
+#include "common/annotations.hpp"
 #include "common/backoff.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -503,7 +504,7 @@ class Quancurrent {
   // (and self-drain) install_run batches at any moment, so queue equality
   // here could fail spuriously without any precondition violation — the
   // drain below already published everything that was parked when we looked.
-  void quiesce() {
+  void quiesce() QC_EXCLUDES(latch_) {
     // The convenience updater belongs to the sketch, so quiesce() may (and
     // must) drain it: its buffered items are otherwise unreachable here.
     if (self_updater_ != nullptr) self_updater_->drain();
@@ -529,7 +530,7 @@ class Quancurrent {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(tail_mu_);
+      const sync::MutexLock lock(tail_mu_);
       if (tail_.size() >= cap_) {
         std::sort(tail_.begin(), tail_.end(), cmp_);
         const std::size_t full = tail_.size() - tail_.size() % cap_;
@@ -555,6 +556,9 @@ class Quancurrent {
     const LatchGuard guard(*this);  // scoped: the latch cannot leak on a throw
     // Make the unpublish loop's retirements no-throw up front (<= 2 * kLevels
     // of them); a bad_alloc here propagates with nothing retired yet.
+    // qc-lint-allow(no-alloc-under-latch): quiesce is the cold reclamation
+    // path (no concurrent updaters by precondition), and this reserve is what
+    // makes the retirements below allocation-free.
     retired_.reserve(retired_.size() + 2 * static_cast<std::size_t>(kLevels));
     const Tritmap tm = tritmap_.load(std::memory_order_relaxed);
     for (std::uint32_t level = 0; level < kLevels; ++level) {
@@ -653,11 +657,13 @@ class Quancurrent {
   // queue is full.  This is the diagnostic/test surface for exercising
   // multi-batch combining deterministically; production ingestion always
   // follows an enqueue with drain_until(), so the queue self-drains.
-  std::uint64_t enqueue_batch(std::span<const T> sorted_batch) {
+  std::uint64_t enqueue_batch(std::span<const T> sorted_batch) QC_EXCLUDES(latch_) {
     // Size is memory safety (the memcpy below trusts it); sortedness is an
     // algorithmic precondition (wrong answers, not wrong accesses) and O(2k)
     // to verify, so it stays a debug-only assert (see common/check.hpp).
     QC_CHECK(sorted_batch.size() == cap_, "enqueue_batch requires a full 2k batch");
+    // qc-lint-allow(qc-check-over-assert): O(2k) sortedness probe — answer
+    // correctness only, per the policy comment above.
     assert(std::is_sorted(sorted_batch.begin(), sorted_batch.end(), cmp_));
     const std::uint64_t pos = acquire_cell();
     InstallCell& cell = install_q_[pos & (opts_.install_queue - 1)];
@@ -675,11 +681,15 @@ class Quancurrent {
   // primitive: folding another sketch into this one is a sequence of
   // install_run() calls plus a push_tail() of its weight-1 residue.
   // Thread-safe against concurrent updaters, queriers, and other installs.
-  void install_run(std::uint32_t level, std::span<const T> run) {
+  // QC_EXCLUDES: drains the queue itself — a caller already holding the
+  // latch would deadlock in drain_until (try_acquire can never succeed).
+  void install_run(std::uint32_t level, std::span<const T> run) QC_EXCLUDES(latch_) {
     // Level bounds and run size guard the memcpy and the cascade's slot
     // writes; sortedness is answer-correctness only (assert policy above).
     QC_CHECK(level >= 1 && level < kLevels, "install_run level out of ladder range");
     QC_CHECK(run.size() == opts_.k, "install_run requires exactly one k-run");
+    // qc-lint-allow(qc-check-over-assert): O(k) sortedness probe — answer
+    // correctness only (assert policy above).
     assert(std::is_sorted(run.begin(), run.end(), cmp_));
     std::unique_lock<std::mutex> serialized;
     if (opts_.serialize_propagation) {
@@ -699,7 +709,7 @@ class Quancurrent {
   // (the insert's growth, or an injected tail_alloc fault) nothing is
   // appended and the counters are untouched — callers retry or report.
   void push_tail(const T* items, std::uint64_t count) {
-    std::lock_guard<std::mutex> lock(tail_mu_);
+    const sync::MutexLock lock(tail_mu_);
     QC_INJECT_OOM(tail_alloc);
     // Capacity is pre-reserved at construction, so this insert (one
     // geometric reallocation at most, by the range-insert guarantee) almost
@@ -712,7 +722,7 @@ class Quancurrent {
   // Installs every batch currently parked in the install queue (in groups of
   // up to install_combine, like any drain).  Used by quiesce() and the
   // combining-depth benchmarks.
-  void drain_installs() {
+  void drain_installs() QC_EXCLUDES(latch_) {
     Backoff backoff;
     while (install_head_.load(std::memory_order_acquire) !=
            install_tail_.load(std::memory_order_acquire)) {
@@ -840,6 +850,10 @@ class Quancurrent {
           continue;
         }
         const Tritmap tm = s.tritmap_.load(std::memory_order_acquire);
+        // qc-lint-allow(qc-check-over-assert): ladder-shape documentation on
+        // the snapshot retry loop — a violation reads a stale level-0 view
+        // (wrong answer), never an out-of-bounds slot; QC_CHECK here would
+        // tax every snapshot attempt.
         assert(tm.trit(0) == 0);  // published tritmaps always have level 0 drained
         collect_levels(tm, force_full);
         const std::uint64_t tail_ver = copy_tail();
@@ -933,7 +947,7 @@ class Quancurrent {
     // per-element appends); returns the tail version the copy reflects.
     std::uint64_t copy_tail() {
       auto& s = *sketch_;
-      std::lock_guard<std::mutex> lock(s.tail_mu_);
+      const sync::MutexLock lock(s.tail_mu_);
       const std::size_t n = s.tail_.size();
       QC_INJECT_OOM(querier_copy_alloc);
       tail_buf_.resize(n);
@@ -1027,7 +1041,7 @@ class Quancurrent {
   // prefix, so callers under memory pressure should retry into a fresh
   // target (the chaos suite's pattern).  Both sketches' latches are scoped
   // and cannot leak.
-  bool merge_into(Quancurrent& target) const {
+  bool merge_into(Quancurrent& target) const QC_EXCLUDES(latch_, target.latch_) {
     if (&target == this || target.opts_.k != opts_.k) return false;
     // Snapshot the installed ladder under the install latch: holding it
     // stops any publish AND any reclamation (only the latch holder touches
@@ -1062,7 +1076,10 @@ class Quancurrent {
       for (std::uint32_t level = 1; level < top; ++level) {
         for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
           const T* src = slot_ptr(level, slot);
+          // qc-lint-allow(no-alloc-under-latch): capacity reserved above,
+          // outside the latch; the retry loop guarantees it suffices.
           run_items.insert(run_items.end(), src, src + opts_.k);
+          // qc-lint-allow(no-alloc-under-latch): same pre-reserve.
           run_levels.push_back(level);
         }
       }
@@ -1070,7 +1087,7 @@ class Quancurrent {
     }
     std::vector<T> tail_copy;
     {
-      std::lock_guard<std::mutex> lock(tail_mu_);
+      const sync::MutexLock lock(tail_mu_);
       tail_copy = tail_;
     }
     for (std::size_t i = 0; i < run_levels.size(); ++i) {
@@ -1086,7 +1103,7 @@ class Quancurrent {
   // ----- binary serde -------------------------------------------------------
 
   // Bytes serialize() will emit for the current query-visible state.
-  std::size_t serialized_size() const {
+  std::size_t serialized_size() const QC_EXCLUDES(latch_) {
     serde::Writer counter;
     write_payload(counter);
     return counter.bytes();
@@ -1099,7 +1116,7 @@ class Quancurrent {
   // first to capture everything.  Safe against concurrent queriers; under
   // concurrent ingestion the image is a consistent point-in-time snapshot
   // (taken under the install latch, off the query path).
-  std::size_t serialize(std::span<std::byte> out) const {
+  std::size_t serialize(std::span<std::byte> out) const QC_EXCLUDES(latch_) {
     serde::Writer w(out);
     write_payload(w);
     return w.ok() ? w.bytes() : 0;
@@ -1186,31 +1203,39 @@ class Quancurrent {
     try {
       QC_INJECT_OOM(deserialize_alloc);
       sk = std::make_unique<Quancurrent>(o);
-      sk->rng_.set_state(rng_state);
-      const std::uint32_t top = tm.num_levels();
-      for (std::uint32_t level = 1; level < top; ++level) {
-        for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
-          LevelBlock* blk = sk->alloc_block();
-          // Store before reading the payload: on any failure below the
-          // sketch's destructor owns the block.
-          sk->slot_block(level, slot).store(blk, std::memory_order_relaxed);
-          if (!r.get_bytes(blk->items.data(), sk->opts_.k * sizeof(T))) {
-            serde::set_status(status, serde::Status::short_buffer);
-            return nullptr;
+      {
+        // The sketch is private to this frame, but alloc_block / rng_ /
+        // epoch_counter_ are latch-guarded state and the thread-safety
+        // analysis (rightly) has no notion of "not published yet" — hold the
+        // uncontended latch so the rebuild obeys the same discipline the
+        // live paths are checked against.
+        const LatchGuard guard(*sk);
+        sk->rng_.set_state(rng_state);
+        const std::uint32_t top = tm.num_levels();
+        for (std::uint32_t level = 1; level < top; ++level) {
+          for (std::uint32_t slot = 0; slot < tm.trit(level); ++slot) {
+            LevelBlock* blk = sk->alloc_block();
+            // Store before reading the payload: on any failure below the
+            // sketch's destructor owns the block.
+            sk->slot_block(level, slot).store(blk, std::memory_order_relaxed);
+            if (!r.get_bytes(blk->items.data(), sk->opts_.k * sizeof(T))) {
+              serde::set_status(status, serde::Status::short_buffer);
+              return nullptr;
+            }
+            // Published runs are sorted by construction, and everything
+            // downstream trusts that (the query merge, and install_run when
+            // this sketch is later merged).  A crafted unsorted run is as
+            // malformed as a bad trit — reject it here, where the bytes are
+            // already cache-hot, instead of serving garbage quantiles.
+            if (!std::is_sorted(blk->items.begin(), blk->items.end(), sk->cmp_)) {
+              serde::set_status(status, serde::Status::bad_payload);
+              return nullptr;
+            }
           }
-          // Published runs are sorted by construction, and everything
-          // downstream trusts that (the query merge, and install_run when
-          // this sketch is later merged).  A crafted unsorted run is as
-          // malformed as a bad trit — reject it here, where the bytes are
-          // already cache-hot, instead of serving garbage quantiles.
-          if (!std::is_sorted(blk->items.begin(), blk->items.end(), sk->cmp_)) {
-            serde::set_status(status, serde::Status::bad_payload);
-            return nullptr;
+          if (tm.trit(level) != 0) {
+            sk->level_epoch_[level].store(++sk->epoch_counter_,
+                                          std::memory_order_relaxed);
           }
-        }
-        if (tm.trit(level) != 0) {
-          sk->level_epoch_[level].store(++sk->epoch_counter_,
-                                        std::memory_order_relaxed);
         }
       }
       std::uint64_t tail_count = 0;
@@ -1224,10 +1249,14 @@ class Quancurrent {
         serde::set_status(status, serde::Status::short_buffer);
         return nullptr;
       }
-      sk->tail_.resize(static_cast<std::size_t>(tail_count));
-      if (!r.get_bytes(sk->tail_.data(), sk->tail_.size() * sizeof(T))) {
-        serde::set_status(status, serde::Status::short_buffer);
-        return nullptr;
+      {
+        // Same discipline as the ladder rebuild above: tail_ is guarded.
+        const sync::MutexLock lock(sk->tail_mu_);
+        sk->tail_.resize(static_cast<std::size_t>(tail_count));
+        if (!r.get_bytes(sk->tail_.data(), sk->tail_.size() * sizeof(T))) {
+          serde::set_status(status, serde::Status::short_buffer);
+          return nullptr;
+        }
       }
       sk->tail_size_.store(tail_count, std::memory_order_relaxed);
     } catch (const std::bad_alloc&) {
@@ -1307,13 +1336,13 @@ class Quancurrent {
   // the block cannot be retired (let alone reclaimed) underneath them.
   // Queriers never use this — they take epoch-protected slot_block()
   // pointer snapshots instead.
-  T* slot_ptr(std::uint32_t level, std::uint32_t slot) {
+  T* slot_ptr(std::uint32_t level, std::uint32_t slot) QC_REQUIRES(latch_) {
     LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
     QC_CHECK(b != nullptr, "dereferencing an unpublished level slot");
     return b->items.data();
   }
 
-  const T* slot_ptr(std::uint32_t level, std::uint32_t slot) const {
+  const T* slot_ptr(std::uint32_t level, std::uint32_t slot) const QC_REQUIRES(latch_) {
     const LevelBlock* b = slot_block(level, slot).load(std::memory_order_relaxed);
     QC_CHECK(b != nullptr, "dereferencing an unpublished level slot");
     return b->items.data();
@@ -1333,19 +1362,19 @@ class Quancurrent {
             .count());
   }
 
-  bool try_acquire_latch() const {
-    if (latch_.test_and_set(std::memory_order_acquire)) return false;
+  bool try_acquire_latch() const QC_TRY_ACQUIRE(true, latch_) QC_NO_THREAD_SAFETY_ANALYSIS {
+    if (latch_.flag.test_and_set(std::memory_order_acquire)) return false;
     latch_since_ns_.store(now_ns(), std::memory_order_relaxed);
     return true;
   }
 
-  void acquire_latch() const {
+  void acquire_latch() const QC_ACQUIRE(latch_) QC_NO_THREAD_SAFETY_ANALYSIS {
     Backoff backoff;
-    while (latch_.test_and_set(std::memory_order_acquire)) backoff.spin();
+    while (latch_.flag.test_and_set(std::memory_order_acquire)) backoff.spin();
     latch_since_ns_.store(now_ns(), std::memory_order_relaxed);
   }
 
-  void release_latch() const {
+  void release_latch() const QC_RELEASE(latch_) QC_NO_THREAD_SAFETY_ANALYSIS {
     const std::uint64_t held = now_ns() - latch_since_ns_.load(std::memory_order_relaxed);
     latch_since_ns_.store(0, std::memory_order_relaxed);
     stat_latch_holds_.fetch_add(1, std::memory_order_relaxed);
@@ -1357,17 +1386,19 @@ class Quancurrent {
     if (opts_.latch_watchdog_ns != 0 && held > opts_.latch_watchdog_ns) {
       stat_watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
     }
-    latch_.clear(std::memory_order_release);
+    latch_.flag.clear(std::memory_order_release);
   }
 
   // Scoped hold for the paths that may throw under the latch (quiesce's
   // retirement bookkeeping, merge snapshots): "the latch never leaks" is a
   // failure-model guarantee, not a convention.
-  struct LatchGuard {
-    explicit LatchGuard(const Quancurrent& s) : s_(s) { s_.acquire_latch(); }
+  struct QC_SCOPED_CAPABILITY LatchGuard {
+    explicit LatchGuard(const Quancurrent& s) QC_ACQUIRE(s.latch_) : s_(s) {
+      s_.acquire_latch();
+    }
     LatchGuard(const LatchGuard&) = delete;
     LatchGuard& operator=(const LatchGuard&) = delete;
-    ~LatchGuard() { s_.release_latch(); }
+    ~LatchGuard() QC_RELEASE() { s_.release_latch(); }
     const Quancurrent& s_;
   };
 
@@ -1377,7 +1408,7 @@ class Quancurrent {
   // Hands out a block to fill: reuse pool first (proven-safe blocks, no
   // allocator traffic), `new` otherwise.  Advances the global reclamation
   // epoch every ibr_epoch_freq allocations and stamps the block's birth.
-  LevelBlock* alloc_block() {
+  LevelBlock* alloc_block() QC_REQUIRES(latch_) {
     LevelBlock* b;
     if (!free_blocks_.empty()) {
       b = free_blocks_.back();
@@ -1385,6 +1416,9 @@ class Quancurrent {
       ibr_reused_.fetch_add(1, std::memory_order_relaxed);
     } else {
       QC_INJECT_OOM(level_block_alloc);
+      // qc-lint-allow(no-alloc-under-latch): THE staging allocation site —
+      // only reachable via prepare_cascade/deserialize, where a bad_alloc is
+      // handled before anything is published (two-phase cascade contract).
       b = new LevelBlock(opts_.k);
       ibr_allocated_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -1403,7 +1437,8 @@ class Quancurrent {
   // total order: a querier that announced its epoch before loading this
   // pointer is guaranteed visible to any scan that could free the displaced
   // block (file comment, IBR).
-  void publish_slot(std::uint32_t level, std::uint32_t slot, LevelBlock* nb) {
+  void publish_slot(std::uint32_t level, std::uint32_t slot, LevelBlock* nb)
+      QC_REQUIRES(latch_) {
     auto& ref = slot_block(level, slot);
     LevelBlock* old = ref.load(std::memory_order_relaxed);
     ref.store(nb, std::memory_order_seq_cst);
@@ -1412,8 +1447,10 @@ class Quancurrent {
 
   // Moves a displaced block onto the retire list, stamped with the current
   // epoch; runs a reclamation scan every ibr_recl_freq retirements.
-  void retire_block(LevelBlock* b) {
+  void retire_block(LevelBlock* b) QC_REQUIRES(latch_) {
     b->retire_epoch = ibr_epoch_.load(std::memory_order_relaxed);
+    // qc-lint-allow(no-alloc-under-latch): no-throw in practice — capacity is
+    // pre-reserved by prepare_cascade / quiesce before any retirement burst.
     retired_.push_back(b);
     ibr_retired_.fetch_add(1, std::memory_order_relaxed);
     retire_list_len_.store(retired_.size(), std::memory_order_relaxed);
@@ -1435,6 +1472,8 @@ class Quancurrent {
   // exactly the dichotomy the free rule in ibr_scan needs.  (A seq_cst
   // fence + relaxed loads would do the same, but GCC's -Wtsan rejects
   // fences under -fsanitize=thread, and scans are rare enough not to care.)
+  // No latch requirement: reads only atomics (ibr_stats() sweeps it lock-free
+  // too); the free rule in ibr_scan is what needs the latch, not this sweep.
   std::uint64_t min_announced_epoch() const {
     std::uint64_t min_e = kIdleEpoch;
     for (IbrSlotChunk* c = ibr_chunks_.load(std::memory_order_acquire);
@@ -1455,13 +1494,15 @@ class Quancurrent {
   // conservative epoch rule of interval-based reclamation — the birth/retire
   // interval tags support the finer overlap rule, but the conservative one
   // already bounds the retire list by the scan cadence.
-  void ibr_scan() {
+  void ibr_scan() QC_REQUIRES(latch_) {
     ibr_scans_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t min_e = min_announced_epoch();
     std::size_t kept = 0;
     for (LevelBlock* b : retired_) {
       if (b->retire_epoch < min_e) {
         if (free_blocks_.size() < kFreeListCap) {
+          // qc-lint-allow(no-alloc-under-latch): bounded by kFreeListCap and
+          // pool capacity is warmed by the first scans; never on the hot path.
           free_blocks_.push_back(b);
         } else {
           delete b;
@@ -1472,6 +1513,8 @@ class Quancurrent {
       }
     }
     ibr_reclaimed_.fetch_add(retired_.size() - kept, std::memory_order_relaxed);
+    // qc-lint-allow(no-alloc-under-latch): kept <= size(), so this resize
+    // only shrinks — libstdc++ never reallocates on a downward resize.
     retired_.resize(kept);
     retire_list_len_.store(kept, std::memory_order_relaxed);
     // degraded_ is NOT cleared here: the flag marks a throttle episode, and
@@ -1492,7 +1535,7 @@ class Quancurrent {
   // backpressure.  The wait is observable: ibr_stats().degraded flips true
   // for the episode, throttle_waits counts episodes, forced_scans counts
   // every off-cadence scan, and the latch watchdog times the hold.
-  void enforce_retire_cap(std::uint32_t upcoming) {
+  void enforce_retire_cap(std::uint32_t upcoming) QC_REQUIRES(latch_) {
     const std::uint32_t cap = opts_.ibr_retire_cap;
     if (cap == 0 || retired_.size() + upcoming <= cap) return;
     ibr_forced_scans_.fetch_add(1, std::memory_order_relaxed);
@@ -1522,7 +1565,7 @@ class Quancurrent {
   // BEFORE anything becomes visible: on bad_alloc the staged blocks return
   // to the pool and the caller defers the batch.  Returns false iff the
   // staging allocations failed.
-  bool prepare_cascade(Tritmap tm, std::uint32_t entry_level) {
+  bool prepare_cascade(Tritmap tm, std::uint32_t entry_level) QC_REQUIRES(latch_) {
     std::uint32_t blocks = 0;
     std::uint32_t level = entry_level;
     if (entry_level == 0) {
@@ -1552,7 +1595,12 @@ class Quancurrent {
       // Pre-reserving the retire list makes retire_block's push_back during
       // the apply no-throw; stash_ itself was reserved at construction
       // (kLevels + 1 >= any cascade's block count).
+      // qc-lint-allow(no-alloc-under-latch): this IS the pre-reserve phase —
+      // all throwing work happens here, before anything is published, and a
+      // bad_alloc unwinds to release_stash with shared state untouched.
       retired_.reserve(retired_.size() + blocks);
+      // qc-lint-allow(no-alloc-under-latch): stash_ capacity reserved at
+      // construction (kLevels + 1); alloc_block is the audited staging site.
       while (stash_.size() < blocks) stash_.push_back(alloc_block());
     } catch (const std::bad_alloc&) {
       release_stash();
@@ -1564,7 +1612,7 @@ class Quancurrent {
   // Hands apply_cascade its next pre-staged block; underflow means the
   // simulation and the application disagreed — a logic bug that would
   // otherwise turn into an allocation (and a possible throw) mid-publication.
-  LevelBlock* take_block() {
+  LevelBlock* take_block() QC_REQUIRES(latch_) {
     QC_CHECK(!stash_.empty(), "cascade consumed more blocks than its simulation staged");
     LevelBlock* b = stash_.back();
     stash_.pop_back();
@@ -1574,9 +1622,11 @@ class Quancurrent {
   // Returns staged blocks nobody will consume (a failed prepare) to the
   // reuse pool, allocator-bound overflow freed.  The accounting stays
   // consistent: pooled blocks count as live until quiesce flushes the pool.
-  void release_stash() {
+  void release_stash() QC_REQUIRES(latch_) {
     for (LevelBlock* b : stash_) {
       if (free_blocks_.size() < kFreeListCap) {
+        // qc-lint-allow(no-alloc-under-latch): bounded pool, same rationale
+        // as the ibr_scan free-list push.
         free_blocks_.push_back(b);
       } else {
         delete b;
@@ -1613,7 +1663,7 @@ class Quancurrent {
 
   // Emits the serde image; shared by serialize() and serialized_size() (the
   // latter passes a measuring writer), so the two can never disagree.
-  void write_payload(serde::Writer& w) const {
+  void write_payload(serde::Writer& w) const QC_EXCLUDES(latch_) {
     serde::write_header(w, serde::Engine::concurrent,
                         static_cast<std::uint8_t>(sizeof(T)));
     w.put(opts_.k);
@@ -1647,7 +1697,7 @@ class Quancurrent {
         }
       }
     }
-    std::lock_guard<std::mutex> lock(tail_mu_);
+    const sync::MutexLock lock(tail_mu_);
     w.put(static_cast<std::uint64_t>(tail_.size()));
     w.put_bytes(tail_.data(), tail_.size() * sizeof(T));
   }
@@ -1670,7 +1720,7 @@ class Quancurrent {
   // cell), reopens the ordinal, and hands the batch to the combining
   // installer.
   void flush_chunk(std::uint32_t node_idx, const T* items, std::uint32_t count,
-                   IbrSlot* slot = nullptr) {
+                   IbrSlot* slot = nullptr) QC_EXCLUDES(latch_) {
     // Updater-side epoch announcement (relaxed): a flush can end up holding
     // the install latch and touching blocks, but the latch already excludes
     // the reclaimer, so this is defense-in-depth that also keeps the
@@ -1755,7 +1805,7 @@ class Quancurrent {
   // cell is free.  The wait can only be on a cell still holding a batch from
   // the previous lap, whose producer is parked in drain_until() and will
   // drain it, so progress is guaranteed.
-  std::uint64_t acquire_cell() {
+  std::uint64_t acquire_cell() QC_EXCLUDES(latch_) {
     // Chaos builds: delay the producer as if the ring were full, driving the
     // backpressure wait below without needing a real slow drainer.
     QC_INJECT_STALL(install_queue_full);
@@ -1774,7 +1824,7 @@ class Quancurrent {
 
   // Enqueues a sorted 2k batch and sees it through installation; the
   // quiesce/tail path (no gather buffer involved) and tests use this.
-  void install_batch(std::span<const T> sorted_batch) {
+  void install_batch(std::span<const T> sorted_batch) QC_EXCLUDES(latch_) {
     std::unique_lock<std::mutex> serialized;
     if (opts_.serialize_propagation) {
       serialized = std::unique_lock<std::mutex>(prop_mu_);
@@ -1786,7 +1836,7 @@ class Quancurrent {
   // whenever the latch is free the caller takes it and drains a group.  An
   // owner whose batch is installed by another drainer returns without ever
   // holding the latch — that is the combining win under contention.
-  void drain_until(std::uint64_t my_pos) {
+  void drain_until(std::uint64_t my_pos) QC_EXCLUDES(latch_) {
     Backoff backoff;
     for (;;) {
       if (install_head_.load(std::memory_order_acquire) > my_pos) return;
@@ -1822,7 +1872,7 @@ class Quancurrent {
   // the group flips install_seq_ odd, and the final advance restores even
   // parity, so any query copy window overlapping a dangerous write fails
   // validation (see Querier::refresh_impl).
-  void drain_group() {
+  void drain_group() QC_REQUIRES(latch_) {
     // Chaos builds: wedge the latch holder right here — producers park on the
     // ring, queriers keep answering from the published state, and the hold
     // must show up in latch_current_hold_ns / latch_watchdog_trips.
@@ -1899,7 +1949,7 @@ class Quancurrent {
   // lands, the cascade always runs to its tritmap CAS.
   Tritmap apply_cascade(Tritmap tm, Tritmap published, std::span<const T> items,
                         std::uint32_t entry_level, bool& seq_odd,
-                        std::uint64_t& steps) {
+                        std::uint64_t& steps) QC_REQUIRES(latch_) {
     // Every cascade gets a fresh epoch so that two writes of the same
     // level within one group are distinguishable to querier run caches.
     const std::uint64_t epoch = ++epoch_counter_;
@@ -1992,10 +2042,12 @@ class Quancurrent {
   // ----- IBR state.  The vectors and cadence counters are latch-protected;
   // the epoch, chunk list, and stat counters are atomics. --------------------
   std::atomic<std::uint64_t> ibr_epoch_{1};
-  std::uint32_t allocs_since_epoch_ = 0;
-  std::uint32_t retires_since_scan_ = 0;
-  std::vector<LevelBlock*> retired_;      // unpublished, awaiting proof of safety
-  std::vector<LevelBlock*> free_blocks_;  // proven-safe reuse pool (bounded)
+  std::uint32_t allocs_since_epoch_ QC_GUARDED_BY(latch_) = 0;
+  std::uint32_t retires_since_scan_ QC_GUARDED_BY(latch_) = 0;
+  // unpublished, awaiting proof of safety
+  std::vector<LevelBlock*> retired_ QC_GUARDED_BY(latch_);
+  // proven-safe reuse pool (bounded)
+  std::vector<LevelBlock*> free_blocks_ QC_GUARDED_BY(latch_);
   std::atomic<IbrSlotChunk*> ibr_chunks_{nullptr};
   std::atomic<std::uint64_t> ibr_epochs_{0};
   std::atomic<std::uint64_t> ibr_allocated_{0};
@@ -2016,10 +2068,13 @@ class Quancurrent {
   // Two-phase cascade staging area (latch-protected): the blocks
   // prepare_cascade provisioned for the next apply_cascade.  Empty between
   // drain steps; nonempty at destruction only after a mid-drain throw.
-  std::vector<LevelBlock*> stash_;
+  std::vector<LevelBlock*> stash_ QC_GUARDED_BY(latch_);
 
   // serialize_propagation ablation arm: conditionally held around batch
   // formation + install enqueue + propagation drain.  Queriers never take it.
+  // Deliberately a plain std::mutex outside the annotation model: it guards
+  // no data (it serializes a code path), and its conditional unique_lock
+  // pattern is exactly what the static analysis cannot express.
   std::mutex prop_mu_;
 
   // Bounded MPSC install hand-off queue; see InstallCell.  install_tail_ is
@@ -2031,11 +2086,13 @@ class Quancurrent {
 
   // Install/drain path (one latch holder at a time), serialized by `latch_`.
   // Mutable: const observers (serialize, merge_into's source snapshot) also
-  // freeze publication with it.
-  mutable std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
-  std::vector<T> scratch_;
-  Xoshiro256 rng_{0};
-  std::uint64_t epoch_counter_ = 0;  // per-batch-cascade; latch-protected
+  // freeze publication with it.  The LatchFlag doubles as the thread-safety
+  // capability every QC_REQUIRES/QC_GUARDED_BY in this class names; see
+  // common/annotations.hpp for the model.
+  mutable sync::LatchFlag latch_;
+  std::vector<T> scratch_ QC_GUARDED_BY(latch_);
+  Xoshiro256 rng_ QC_GUARDED_BY(latch_){0};
+  std::uint64_t epoch_counter_ QC_GUARDED_BY(latch_) = 0;  // per-batch-cascade
 
   // Monotonic publish clock: advances by a net 2 per published group, and is
   // ODD exactly while a combined group is rewriting published-occupied slots
@@ -2045,8 +2102,8 @@ class Quancurrent {
   // Tail: weight-1 residue from drains and quiesce, outside the tritmap.
   // tail_version_ bumps on every tail mutation so queriers can detect an
   // unchanged tail without taking the mutex.
-  mutable std::mutex tail_mu_;
-  std::vector<T> tail_;
+  mutable sync::Mutex tail_mu_;
+  std::vector<T> tail_ QC_GUARDED_BY(tail_mu_);
   std::atomic<std::uint64_t> tail_size_{0};
   std::atomic<std::uint64_t> tail_version_{0};
 

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace qc::core {
 
 // One sorted run: `size` items at `data`, each carrying the same weight.
@@ -186,7 +188,11 @@ class RunMerger {
                           Compare cmp = Compare()) {
     std::size_t total = 0;
     for (const auto& r : runs) total += r.size;
-    assert(out.size() >= total);
+    // Memory safety, not a debug nicety: the copy/merge below writes `total`
+    // items through out.data(), so an undersized span is an overrun in
+    // Release — exactly the class of invariant the policy reserves QC_CHECK
+    // for (common/check.hpp).
+    QC_CHECK(out.size() >= total, "merge_items output span smaller than input total");
     if (total == 0) return 0;
     if (runs.size() == 1) {
       std::copy_n(runs[0].data, runs[0].size, out.data());
@@ -308,7 +314,9 @@ class ChunkMerger {
   void merge(std::span<const T> data, std::size_t chunk, std::span<T> out,
              Compare cmp = Compare()) {
     const std::size_t n = data.size();
-    assert(out.size() == n);
+    // Guards every write of the merge passes below; an undersized out would
+    // be an out-of-bounds write in Release, so this is QC_CHECK territory.
+    QC_CHECK(out.size() == n, "ChunkMerger::merge output span must match input size");
     cmp_ = cmp;
     if (chunk == 0) chunk = n;
     std::size_t passes = 0;

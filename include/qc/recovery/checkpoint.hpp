@@ -101,6 +101,13 @@ namespace detail {
 
 // serialize with the size/serialize race retried, as qc::to_bytes does —
 // under concurrent ingestion the payload can grow between the two calls.
+//
+// Capability note (common/annotations.hpp): serialize()/serialized_size()
+// take the sketch's install latch internally (QC_EXCLUDES on their side), so
+// the under-latch snapshot discipline — no allocation, no blocking while the
+// ladder is frozen — is enforced where the latch lives.  This helper, and
+// the Checkpointer above it, must therefore never be called with that latch
+// held; holding it here would deadlock in write_payload's LatchGuard.
 template <typename Sketch>
 std::vector<std::byte> sketch_bytes(const Sketch& sk) {
   std::vector<std::byte> out;

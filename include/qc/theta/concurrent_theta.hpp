@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "numa/topology.hpp"
 #include "theta/theta_sketch.hpp"
 
@@ -95,13 +96,13 @@ class ConcurrentTheta {
   Updater make_updater() { return Updater(*this); }
 
   // Compacts the shared sketch (local buffers are the updaters' to flush).
-  void drain() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void drain() QC_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     shared_.compact();
   }
 
-  double estimate() {
-    std::lock_guard<std::mutex> lock(mu_);
+  double estimate() QC_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     return shared_.estimate();
   }
 
@@ -110,15 +111,18 @@ class ConcurrentTheta {
  private:
   friend class Updater;
 
-  void ingest_hashes(const std::vector<std::uint64_t>& hashes) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ingest_hashes(const std::vector<std::uint64_t>& hashes) QC_EXCLUDES(mu_) {
+    const sync::MutexLock lock(mu_);
     for (const std::uint64_t h : hashes) shared_.update_hash(h);
     theta_cache_.store(shared_.theta(), std::memory_order_release);
   }
 
   Options opts_;
-  std::mutex mu_;
-  ThetaSketch shared_;
+  // The hand-off mutex: updaters flush their local hash buffers into the
+  // shared sketch under it.  theta_cache_ stays an unguarded atomic mirror —
+  // updaters read it lock-free to pre-filter, tolerating staleness.
+  sync::Mutex mu_;
+  ThetaSketch shared_ QC_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> theta_cache_{~std::uint64_t{0}};
 };
 

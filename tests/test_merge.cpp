@@ -214,7 +214,7 @@ QC_TEST(queriers_stay_live_during_concurrent_merge) {
   done.store(true, std::memory_order_release);
   reader.join();
 
-  CHECK_EQ(violations.load(), 0u);
+  CHECK_EQ(violations.load(std::memory_order_relaxed), 0u);  // reader joined
   CHECK_EQ(target.size(), 4 * n);
   auto q = target.make_querier();
   CHECK_EQ(q.size(), 4 * n);

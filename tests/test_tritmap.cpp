@@ -86,8 +86,11 @@ QC_TEST(atomic_tritmap_is_lock_free) {
   std::atomic<Tritmap> tm{Tritmap(0)};
   CHECK(tm.is_lock_free());
   Tritmap expected = Tritmap(0);
-  CHECK(tm.compare_exchange_strong(expected, Tritmap(0).after_batch_update()));
-  CHECK_EQ(tm.load().trit(0), 2u);
+  // Single-threaded probe of lock-freedom: no ordering needed, relaxed.
+  CHECK(tm.compare_exchange_strong(expected, Tritmap(0).after_batch_update(),
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed));
+  CHECK_EQ(tm.load(std::memory_order_relaxed).trit(0), 2u);
 }
 
 QC_TEST_MAIN()

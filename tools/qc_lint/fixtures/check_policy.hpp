@@ -1,0 +1,21 @@
+// qc-lint fixture: qc-check-over-assert.  A .hpp fixture is treated as an
+// engine header, where every bare assert() needs a policy justification
+// (common/check.hpp: QC_CHECK for memory safety, assert for expensive or
+// answer-correctness-only conditions).  Never compiled.
+#include <cassert>
+
+struct Ladder {
+  void publish(unsigned level, unsigned count) {
+    QC_CHECK(level < kLevels, "level out of ladder range");  // policy-correct
+    static_assert(sizeof(unsigned) >= 4, "unsigned is at least 32 bits");
+    assert(count > 0);  // qc-lint-expect: qc-check-over-assert
+  }
+
+  void install(const int* items, unsigned n) {
+    // qc-lint-allow(qc-check-over-assert): O(n) sortedness probe — answer
+    // correctness only, too expensive for a release-build check.
+    assert(is_sorted_range(items, n));
+  }
+
+  unsigned kLevels = 16;
+};

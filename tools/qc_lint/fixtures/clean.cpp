@@ -1,0 +1,27 @@
+// qc-lint fixture: a negative control.  Idiomatic engine-adjacent code that
+// must produce zero diagnostics — if any check fires here, the checker has a
+// false-positive regression.  Never compiled.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+std::atomic<unsigned> hits{0};
+
+void record() { hits.fetch_add(1, std::memory_order_relaxed); }
+
+struct Pool {
+  // Not latch-annotated and not called from latched code: allocation and
+  // locking are unrestricted.
+  void refill() {
+    std::lock_guard<std::mutex> g(mu_);
+    blocks_.reserve(64);
+    blocks_.push_back(nullptr);
+  }
+
+  // Digit separators must not be mistaken for char literals (a bug class the
+  // stripper is specifically tested against here).
+  bool big_enough() const { return blocks_.capacity() >= 1'000'000; }
+
+  std::vector<int*> blocks_;
+  mutable std::mutex mu_;
+};

@@ -1,0 +1,41 @@
+// qc-lint fixture: explicit-memory-order.
+// Never compiled — consumed by `qc_lint.py --fixtures`, which checks that the
+// reported diagnostics exactly match the `qc-lint-expect:` markers below.
+#include <atomic>
+#include <vector>
+
+std::atomic<unsigned> counter{0};
+std::atomic_flag door = ATOMIC_FLAG_INIT;
+std::atomic<bool> ready{false};
+int plain = 0;
+std::vector<int> names;
+
+void offenders() {
+  counter.fetch_add(1);                  // qc-lint-expect: explicit-memory-order
+  counter.store(5);                      // qc-lint-expect: explicit-memory-order
+  (void)counter.load();                  // qc-lint-expect: explicit-memory-order
+  (void)ready.exchange(true);            // qc-lint-expect: explicit-memory-order
+  (void)door.test_and_set();             // qc-lint-expect: explicit-memory-order
+  door.clear();                          // qc-lint-expect: explicit-memory-order
+  counter++;                             // qc-lint-expect: explicit-memory-order
+  counter += 2;                          // qc-lint-expect: explicit-memory-order
+}
+
+void conforming() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  ready.store(true, std::memory_order_release);
+  while (!ready.load(std::memory_order_acquire)) {
+  }
+  (void)door.test_and_set(std::memory_order_acq_rel);
+  door.clear(std::memory_order_release);
+  bool expected = true;
+  ready.compare_exchange_strong(expected, false, std::memory_order_acq_rel,
+                                std::memory_order_acquire);
+  names.clear();  // container clear: receiver is not an atomic_flag
+  plain += 1;     // non-atomic compound assignment
+}
+
+void justified() {
+  // qc-lint-allow(explicit-memory-order): single-threaded teardown path.
+  (void)counter.load();
+}

@@ -1,0 +1,707 @@
+#!/usr/bin/env python3
+"""qc-lint: repo-specific static checks for the Quancurrent engine.
+
+Four checks, each enforcing an invariant the compiler cannot see:
+
+  explicit-memory-order   Every atomic operation names its memory order.  The
+                          seqlock and IBR correctness arguments in
+                          core/quancurrent.hpp depend on exact acquire/release
+                          pairing; an implicit seq_cst op is an unjustified
+                          fence (cost) and an undocumented ordering assumption
+                          (correctness debt).
+  no-alloc-under-latch    Nothing allocates in code reachable from a
+                          QC_REQUIRES(latch_) function or inside a LatchGuard
+                          scope (the PR 4/7 pre-reserve rule).  Deliberate,
+                          protocol-audited exceptions carry a
+                          `// qc-lint-allow(no-alloc-under-latch): why` marker.
+  no-blocking-under-latch Nothing blocks under the install latch: no mutex
+                          acquisition, no sleeps, no file I/O, and no call to
+                          a QC_EXCLUDES(latch_) function (self-deadlock).
+  qc-check-over-assert    In engine headers, every bare assert() carries a
+                          justification marker tying it to the documented
+                          QC_CHECK-vs-assert policy (common/check.hpp):
+                          memory-safety invariants must be QC_CHECK (always
+                          on); assert is reserved for expensive or
+                          answer-correctness-only conditions.
+
+Engine: a self-contained lexical analyzer (comment/string/preprocessor
+stripping, balanced-delimiter function extraction, a name-based call graph
+with latch-reachability) — chosen because the toolchain this repo builds on
+(GCC-only containers) has no libclang.  When python bindings for libclang are
+installed, `--engine libclang` upgrades receiver-type resolution for
+explicit-memory-order; the lexical engine is the portable baseline and the
+one CI runs.
+
+Usage:
+  qc_lint.py                         # scan the repo, exit 1 on violations
+  qc_lint.py --fixtures              # self-test against expected-diagnostic
+                                     # fixture files (ctest: test_qc_lint)
+  qc_lint.py --compile-commands build/compile_commands.json
+  qc_lint.py path/to/file.hpp ...    # scan specific files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CHECKS = (
+    "explicit-memory-order",
+    "no-alloc-under-latch",
+    "no-blocking-under-latch",
+    "qc-check-over-assert",
+)
+
+# Atomic member functions whose names are unambiguous in this codebase: a
+# call is an atomic op regardless of what receiver-name resolution says.
+ALWAYS_ATOMIC_METHODS = {
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong", "test_and_set",
+}
+# Atomic methods that collide with container vocabulary: flagged only when
+# the receiver resolves to a known atomic (or atomic_flag, for clear()).
+NAME_GATED_METHODS = {"load", "store", "exchange"}
+FLAG_GATED_METHODS = {"clear"}
+
+ALLOC_TOKENS = [
+    (re.compile(r"\bnew\b"), "new expression"),
+    (re.compile(r"[.\->]\s*push_back\s*\("), "std::vector::push_back"),
+    (re.compile(r"[.\->]\s*emplace_back\s*\("), "emplace_back"),
+    (re.compile(r"[.\->]\s*resize\s*\("), "resize"),
+    (re.compile(r"[.\->]\s*reserve\s*\("), "reserve"),
+    (re.compile(r"[.\->]\s*insert\s*\("), "insert"),
+    (re.compile(r"\bmake_unique\s*<"), "make_unique"),
+    (re.compile(r"\bmake_shared\s*<"), "make_shared"),
+    (re.compile(r"\bthrow\b"), "throw"),
+]
+BLOCKING_TOKENS = [
+    (re.compile(r"\block_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bunique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bscoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bMutexLock\b"), "sync::MutexLock"),
+    (re.compile(r"[.\->]\s*lock\s*\(\s*\)"), ".lock()"),
+    (re.compile(r"\bsleep_for\b"), "sleep_for"),
+    (re.compile(r"\bsleep_until\b"), "sleep_until"),
+    (re.compile(r"\bfsync\b|\bfdatasync\b"), "fsync"),
+    (re.compile(r"\busleep\b|\bnanosleep\b"), "sleep syscall"),
+    (re.compile(r"[.\->]\s*join\s*\(\s*\)"), "thread join"),
+]
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "new", "delete", "else", "do", "static_assert", "assert",
+    "defined", "requires", "operator", "noexcept", "alignas", "constexpr",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+}
+
+ALLOW_RE = re.compile(r"qc-lint-allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"qc-lint-expect:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+IDENT = r"[A-Za-z_]\w*"
+
+
+class Violation:
+    def __init__(self, path, line, check, msg):
+        self.path, self.line, self.check, self.msg = path, line, check, msg
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.msg}"
+
+    def key(self):
+        return (self.path, self.line, self.check)
+
+
+def strip_code(text: str) -> str:
+    """Blanks comments, string/char literals, and preprocessor directives,
+    preserving offsets and newlines so line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                j = text.find("\n", i)
+                j = n if j == -1 else j
+                for k in range(i, j):
+                    out[k] = " "
+                i = j
+            elif c == "/" and nxt == "*":
+                j = text.find("*/", i + 2)
+                j = n - 2 if j == -1 else j
+                for k in range(i, j + 2):
+                    if out[k] != "\n":
+                        out[k] = " "
+                i = j + 2
+            elif c == '"':
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                for k in range(i, min(j + 1, n)):
+                    out[k] = " "
+                i = j + 1
+            elif c == "'" and i > 0 and (text[i - 1].isalnum()
+                                         or text[i - 1] == "_"):
+                i += 1  # digit separator (1'000'000), not a char literal
+            elif c == "'":
+                j = i + 1
+                while j < n and text[j] != "'":
+                    j += 2 if text[j] == "\\" else 1
+                for k in range(i, min(j + 1, n)):
+                    out[k] = " "
+                i = j + 1
+            elif c == "#" and text[:i].rstrip(" \t").endswith(("\n", "")) or (
+                    c == "#" and (i == 0 or text.rfind("\n", 0, i) == i - len(text[:i]) + len(text[:i].rstrip(" \t")))):
+                # preprocessor directive (handles continuation backslashes)
+                j = i
+                while j < n:
+                    e = text.find("\n", j)
+                    e = n if e == -1 else e
+                    if text[j:e].rstrip().endswith("\\"):
+                        j = e + 1
+                    else:
+                        break
+                e = text.find("\n", j)
+                e = n if e == -1 else e
+                for k in range(i, e):
+                    if out[k] != "\n":
+                        out[k] = " "
+                i = e
+            else:
+                i += 1
+        else:  # pragma: no cover
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def match_delim(text: str, pos: int, open_c: str, close_c: str) -> int:
+    """pos points at open_c; returns index just past the matching close_c."""
+    depth = 0
+    i = pos
+    n = len(text)
+    while i < n:
+        if text[i] == open_c:
+            depth += 1
+        elif text[i] == close_c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+class Function:
+    def __init__(self, name, path, line, trailer, body, body_offset):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.trailer = trailer
+        self.body = body
+        self.body_offset = body_offset  # char offset of '{' in file text
+        self.requires_latch = bool(
+            re.search(r"QC_REQUIRES\s*\([^)]*latch", trailer))
+        self.excludes_latch = bool(
+            re.search(r"QC_EXCLUDES\s*\([^)]*latch", trailer))
+
+
+def extract_functions(clean: str, path: str):
+    """Finds function definitions: identifier '(' params ')' [trailer] '{'."""
+    funcs = []
+    for m in re.finditer(IDENT + r"\s*\(", clean):
+        name = m.group(0)[:-1].strip()
+        if name in KEYWORDS or name.startswith("QC_"):
+            continue
+        prev = clean[:m.start()].rstrip()
+        if prev.endswith((".", "->", "::")) and prev.endswith("std::"):
+            continue
+        paren_open = m.end() - 1
+        after_params = match_delim(clean, paren_open, "(", ")")
+        # Trailer: accept whitespace, cv/ref/noexcept/override/final,
+        # QC_* attribute macros (with balanced args), trailing return, and
+        # a constructor init list; a body '{' makes it a definition.
+        i = after_params
+        n = len(clean)
+        trailer_start = i
+        is_def = False
+        while i < n:
+            ch = clean[i]
+            if ch in " \t\n":
+                i += 1
+            elif clean.startswith(("const", "noexcept", "override", "final",
+                                   "mutable", "&&", "&"), i):
+                tok = re.match(r"const|noexcept|override|final|mutable|&&|&",
+                               clean[i:])
+                i += tok.end()
+                if clean[i:i + 1] == "(":  # noexcept(...)
+                    i = match_delim(clean, i, "(", ")")
+            elif clean.startswith("QC_", i):
+                tok = re.match(r"QC_\w+", clean[i:])
+                i += tok.end()
+                j = i
+                while j < n and clean[j] in " \t\n":
+                    j += 1
+                if clean[j:j + 1] == "(":
+                    i = match_delim(clean, j, "(", ")")
+            elif clean.startswith("->", i):
+                j = clean.find("{", i)
+                k = clean.find(";", i)
+                if j == -1 or (k != -1 and k < j):
+                    break
+                i = j
+            elif ch == ":" and not clean.startswith("::", i):
+                # ctor init list: skip balanced parens/braces until body '{'
+                i += 1
+                depth = 0
+                while i < n:
+                    c2 = clean[i]
+                    if c2 in "(":
+                        i = match_delim(clean, i, "(", ")")
+                        continue
+                    if c2 == "{" and depth == 0:
+                        prev2 = clean[:i].rstrip()
+                        # brace directly after an initializer name is an
+                        # init-brace: `m_{x}`; a body brace follows ')' or ','
+                        if prev2.endswith((")", ",")) or prev2[-1:].isalnum() is False:
+                            pass
+                        # member brace-init: skip it
+                        if prev2[-1:].isalnum() or prev2.endswith("_"):
+                            i = match_delim(clean, i, "{", "}")
+                            continue
+                        break
+                    if c2 == ";":
+                        break
+                    i += 1
+                if clean[i:i + 1] != "{":
+                    break
+            elif ch == "{":
+                is_def = True
+                break
+            else:
+                break
+        if not is_def:
+            continue
+        trailer = clean[trailer_start:i]
+        body_end = match_delim(clean, i, "{", "}")
+        body = clean[i + 1:body_end - 1]
+        funcs.append(Function(name, path, line_of(clean, m.start()),
+                              trailer, body, i))
+    return funcs
+
+
+def collect_atomics(cleans):
+    atomics, flags, scalars = set(), set(), set()
+    decl_re = re.compile(r"\batomic(_flag)?\b")
+    scalar_re = re.compile(
+        r"\b(?:std::)?(?:u?int\d+_t|size_t|ptrdiff_t|int|long|short|char|"
+        r"bool|float|double|unsigned|signed|auto)\s+(?:const\s+)?(" + IDENT + r")\b")
+    for clean in cleans.values():
+        for m in decl_re.finditer(clean):
+            i = m.end()
+            is_flag = m.group(1) is not None
+            # skip template args of atomic<...>, then array-of-atomic closers
+            while i < len(clean) and clean[i] in " \t\n":
+                i += 1
+            if clean[i:i + 1] == "<":
+                depth = 0
+                while i < len(clean):
+                    if clean[i] == "<":
+                        depth += 1
+                    elif clean[i] == ">":
+                        depth -= 1
+                        if depth == 0:
+                            i += 1
+                            break
+                    i += 1
+            # array-of-atomic: `std::array<std::atomic<..>, N> name` puts the
+            # match inside an outer template; skip trailing `, N>` closers.
+            while i < len(clean) and clean[i] in " \t\n,0123456789+*kK_>":
+                i += 1
+            nm = re.match(r"&?\s*(" + IDENT + ")", clean[i:])
+            if nm:
+                name = nm.group(1)
+                if name in ("const", "struct", "class"):
+                    continue
+                (flags if is_flag else atomics).add(name)
+        for m in scalar_re.finditer(clean):
+            scalars.add(m.group(1))
+    return atomics, flags, scalars
+
+
+def receiver_name(clean: str, pos: int):
+    """Identifier owning the member access that starts at `pos` (the '.' or
+    '->'), skipping one balanced []/() suffix."""
+    i = pos - 1
+    while i >= 0 and clean[i] in " \t\n":
+        i -= 1
+    for open_c, close_c in (("[", "]"), ("(", ")")):
+        if i >= 0 and clean[i] == close_c:
+            depth = 0
+            while i >= 0:
+                if clean[i] == close_c:
+                    depth += 1
+                elif clean[i] == open_c:
+                    depth -= 1
+                    if depth == 0:
+                        i -= 1
+                        break
+                i -= 1
+            while i >= 0 and clean[i] in " \t\n":
+                i -= 1
+    m = re.search(r"(" + IDENT + r")$", clean[: i + 1])
+    return m.group(1) if m else None
+
+
+def check_memory_order(path, clean, atomics, flags, scalars, allow):
+    out = []
+    method_re = re.compile(
+        r"(\.|->)\s*(load|store|exchange|clear|wait|"
+        r"fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|test_and_set|"
+        r"compare_exchange_weak|compare_exchange_strong)\s*\(")
+    for m in method_re.finditer(clean):
+        method = m.group(2)
+        paren = m.end() - 1
+        args = clean[paren + 1: match_delim(clean, paren, "(", ")") - 1]
+        if "memory_order" in args:
+            continue
+        recv = receiver_name(clean, m.start())
+        if method in ALWAYS_ATOMIC_METHODS:
+            pass
+        elif method in NAME_GATED_METHODS or method == "wait":
+            if recv not in atomics:
+                continue
+        elif method in FLAG_GATED_METHODS:
+            if recv not in flags:
+                continue
+        line = line_of(clean, m.start())
+        if allowed(allow, "explicit-memory-order", line):
+            continue
+        out.append(Violation(path, line, "explicit-memory-order",
+                             f"{recv or '<expr>'}.{method}() uses implicit "
+                             "seq_cst; name the order (and justify it)"))
+    # operator-form mutations on names that are unambiguously atomic
+    unique = atomics - scalars
+    op_res = [re.compile(r"(?:\+\+|--)\s*(" + IDENT + r")\b"),
+              re.compile(r"\b(" + IDENT + r")\s*(?:\+\+|--)"),
+              re.compile(r"\b(" + IDENT + r")\s*(?:\+=|-=|\|=|&=|\^=)")]
+    for rex in op_res:
+        for m in rex.finditer(clean):
+            name = m.group(1)
+            if name not in unique:
+                continue
+            line = line_of(clean, m.start())
+            if allowed(allow, "explicit-memory-order", line):
+                continue
+            out.append(Violation(path, line, "explicit-memory-order",
+                                 f"operator-form atomic mutation of '{name}' "
+                                 "is implicit seq_cst; use fetch_* with an "
+                                 "explicit order"))
+    return out
+
+
+def allowed(allow_map, check, line, span=6):
+    """True when an allow marker for `check` sits on the line or in the
+    immediately preceding comment block (up to `span` lines)."""
+    for ln in range(line, max(0, line - span - 1), -1):
+        if check in allow_map.get(ln, ()):  # marker found
+            return True
+    return False
+
+
+def latched_regions(fn: Function):
+    """(start, end) offsets in fn.body that run under the install latch."""
+    if fn.requires_latch:
+        return [(0, len(fn.body))]
+    regions = []
+    for m in re.finditer(r"\bLatchGuard\b", fn.body):
+        # region: from the guard to the close of its enclosing brace scope
+        depth = 0
+        i = m.end()
+        n = len(fn.body)
+        while i < n:
+            if fn.body[i] == "{":
+                depth += 1
+            elif fn.body[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    break
+            i += 1
+        regions.append((m.start(), i))
+    return regions
+
+
+def body_calls(body: str):
+    """Plain (non-member) calls in a body.  Member calls through an object
+    (`retired_.push_back(...)`, `backoff.spin()`) are deliberately not graph
+    edges: a name-based graph cannot tell `merger_.merge` from every other
+    `merge` in the repo, and the direct-token scans already catch allocating
+    or blocking member calls textually.  `this->helper()` and same-class
+    `helper()` calls — the way latch-path helpers are actually invoked — do
+    form edges."""
+    calls = set()
+    for m in re.finditer(r"(" + IDENT + r")\s*\(", body):
+        name = m.group(1)
+        if name in KEYWORDS or name.startswith("QC_"):
+            continue
+        prev = body[:m.start()].rstrip()
+        if prev.endswith("std::"):
+            continue
+        if prev.endswith((".", "->")) and not prev.endswith("this->"):
+            continue
+        calls.add(name)
+    return calls
+
+
+def latch_reachable(funcs_by_name, seeds):
+    """Names of functions that can run with the latch held: the
+    QC_REQUIRES(latch_) seeds plus everything they plainly call.  A
+    QC_EXCLUDES(latch_) function is never traversed — it cannot legitimately
+    run latch-held (the call site itself is the self-deadlock violation)."""
+    reach = set(seeds)
+    work = list(seeds)
+    while work:
+        name = work.pop()
+        for fn in funcs_by_name.get(name, ()):  # all same-name definitions
+            if fn.excludes_latch:
+                continue
+            for callee in body_calls(fn.body):
+                if callee not in funcs_by_name or callee in reach:
+                    continue
+                if all(cf.excludes_latch for cf in funcs_by_name[callee]):
+                    continue
+                reach.add(callee)
+                work.append(callee)
+    return reach
+
+
+def scan_region(path, fn, start, end, base_line, allow, funcs_by_name, out):
+    text = fn.body[start:end]
+
+    def emit(check, m, what):
+        line = base_line + fn.body[:start + m.start()].count("\n")
+        if not allowed(allow, check, line):
+            out.append(Violation(path, line, check,
+                                 f"{what} under the install latch "
+                                 f"(in {fn.name})"))
+
+    for rex, what in ALLOC_TOKENS:
+        for m in rex.finditer(text):
+            emit("no-alloc-under-latch", m, what)
+    for rex, what in BLOCKING_TOKENS:
+        for m in rex.finditer(text):
+            emit("no-blocking-under-latch", m, what)
+    # Self-deadlock: a plain call to a QC_EXCLUDES(latch_) entry point from
+    # latch-held code re-acquires the latch we already hold.  Member calls
+    # through another object (`target.install_run(...)`) acquire *that*
+    # instance's latch and are legal, so only this-calls count.
+    for m in re.finditer(r"(" + IDENT + r")\s*\(", text):
+        callee = m.group(1)
+        prev = text[:m.start()].rstrip()
+        if prev.endswith((".", "->")) and not prev.endswith("this->"):
+            continue
+        for cf in funcs_by_name.get(callee, ()):
+            if cf.excludes_latch:
+                emit("no-blocking-under-latch", m,
+                     f"call to {callee}() which QC_EXCLUDES the latch "
+                     "(self-deadlock)")
+                break
+
+
+def check_assert(path, clean, allow, is_engine_header):
+    out = []
+    if not is_engine_header:
+        return out
+    for m in re.finditer(r"(?<!static_)(?<!\w)assert\s*\(", clean):
+        line = line_of(clean, m.start())
+        if allowed(allow, "qc-check-over-assert", line):
+            continue
+        out.append(Violation(
+            path, line, "qc-check-over-assert",
+            "bare assert() in an engine header: use QC_CHECK for "
+            "memory-safety invariants, or justify the assert with "
+            "`// qc-lint-allow(qc-check-over-assert): <why>` "
+            "(see common/check.hpp policy)"))
+    return out
+
+
+def collect_markers(text: str):
+    allow, expect = {}, {}
+    for idx, line in enumerate(text.splitlines(), start=1):
+        am = ALLOW_RE.search(line)
+        if am:
+            allow.setdefault(idx, set()).add(am.group(1))
+        em = EXPECT_RE.search(line)
+        if em:
+            for c in re.split(r"\s*,\s*", em.group(1)):
+                expect.setdefault(idx, set()).add(c)
+    return allow, expect
+
+
+def repo_root():
+    return os.path.normpath(os.path.join(os.path.dirname(
+        os.path.abspath(__file__)), "..", ".."))
+
+
+def default_files(root):
+    files = []
+    for sub in ("include", "src", "tests", "bench", "examples"):
+        base = os.path.join(root, sub)
+        for dirpath, _dirs, names in os.walk(base):
+            for nm in sorted(names):
+                if nm.endswith((".hpp", ".h", ".cpp", ".cc")):
+                    files.append(os.path.join(dirpath, nm))
+    return files
+
+
+def files_from_compile_commands(path, root):
+    with open(path, encoding="utf-8") as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        src = os.path.normpath(os.path.join(entry.get("directory", "."),
+                                            entry["file"]))
+        if src.startswith(root) and "/build/" not in src:
+            files.add(src)
+    # headers are not TUs; always sweep the engine headers
+    for f2 in default_files(root):
+        if f2.endswith((".hpp", ".h")):
+            files.add(f2)
+    return sorted(files)
+
+
+def is_engine_header(path):
+    p = path.replace("\\", "/")
+    return "/include/qc/" in p and p.endswith((".hpp", ".h"))
+
+
+def run_checks(paths, fixture_mode=False):
+    texts, cleans, allows = {}, {}, {}
+    per_file_funcs = {}
+    funcs_by_name = {}
+    for p in paths:
+        with open(p, encoding="utf-8", errors="replace") as f:
+            texts[p] = f.read()
+        cleans[p] = strip_code(texts[p])
+        allows[p] = collect_markers(texts[p])[0]
+        per_file_funcs[p] = extract_functions(cleans[p], p)
+        for fn in per_file_funcs[p]:
+            funcs_by_name.setdefault(fn.name, []).append(fn)
+    atomics, flags, scalars = collect_atomics(cleans)
+
+    # latch reachability is global: seed from every annotated function
+    seeds = {fn.name for fns in per_file_funcs.values()
+             for fn in fns if fn.requires_latch}
+    reach = latch_reachable(funcs_by_name, seeds)
+
+    violations = []
+    for p in paths:
+        clean, allow = cleans[p], allows[p]
+        violations += check_memory_order(p, clean, atomics, flags, scalars,
+                                         allow)
+        for fn in per_file_funcs[p]:
+            base = line_of(clean, fn.body_offset)
+            if fn.requires_latch or (fn.name in reach
+                                     and not fn.excludes_latch):
+                scan_region(p, fn, 0, len(fn.body), base, allow,
+                            funcs_by_name, violations)
+            else:
+                for (s, e) in latched_regions(fn):
+                    scan_region(p, fn, s, e, base, allow, funcs_by_name,
+                                violations)
+        engine = is_engine_header(p) or (fixture_mode and p.endswith(".hpp"))
+        violations += check_assert(p, clean, allow, engine)
+    # one diagnostic per (file, line, check)
+    seen, unique = set(), []
+    for v in violations:
+        if v.key() not in seen:
+            seen.add(v.key())
+            unique.append(v)
+    unique.sort(key=lambda v: (v.path, v.line, v.check))
+    return unique
+
+
+def run_fixtures(fixture_dir):
+    paths = sorted(
+        os.path.join(fixture_dir, nm) for nm in os.listdir(fixture_dir)
+        if nm.endswith((".hpp", ".cpp")))
+    if not paths:
+        print(f"qc-lint: no fixtures found in {fixture_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for p in paths:
+        with open(p, encoding="utf-8") as f:
+            text = f.read()
+        _allow, expect = collect_markers(text)
+        got = run_checks([p], fixture_mode=True)
+        got_set = {(v.line, v.check) for v in got}
+        want_set = {(ln, c) for ln, cs in expect.items() for c in cs}
+        missing = want_set - got_set
+        surplus = got_set - want_set
+        rel = os.path.basename(p)
+        if missing or surplus:
+            failures += 1
+            print(f"FAIL {rel}")
+            for ln, c in sorted(missing):
+                print(f"  expected but not reported: line {ln} [{c}]")
+            for ln, c in sorted(surplus):
+                print(f"  reported but not expected: line {ln} [{c}]")
+        else:
+            print(f"ok   {rel} ({len(want_set)} expected diagnostics)")
+    if failures:
+        print(f"qc-lint fixtures: {failures}/{len(paths)} files FAILED")
+        return 1
+    print(f"qc-lint fixtures: all {len(paths)} files passed")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="files to scan (default: repo)")
+    ap.add_argument("--root", default=None, help="repo root")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json to derive the file list from")
+    ap.add_argument("--fixtures", action="store_true",
+                    help="run the expected-diagnostic fixture self-test")
+    ap.add_argument("--engine", choices=("lexical", "libclang"),
+                    default="lexical",
+                    help="analysis engine (libclang needs python bindings)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.engine == "libclang":
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            print("qc-lint: libclang python bindings unavailable; "
+                  "falling back to the lexical engine", file=sys.stderr)
+
+    root = os.path.abspath(args.root) if args.root else repo_root()
+    if args.fixtures:
+        return run_fixtures(os.path.join(os.path.dirname(
+            os.path.abspath(__file__)), "fixtures"))
+
+    if args.files:
+        paths = [os.path.abspath(f) for f in args.files]
+    elif args.compile_commands:
+        paths = files_from_compile_commands(
+            os.path.abspath(args.compile_commands), root)
+    else:
+        paths = default_files(root)
+
+    violations = run_checks(paths)
+    for v in violations:
+        print(str(v).replace(root + os.sep, ""))
+    if not args.quiet:
+        print(f"qc-lint: {len(violations)} violation(s) in "
+              f"{len(paths)} file(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

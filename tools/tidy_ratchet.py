@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""tidy_ratchet: a ratcheted clang-tidy budget gate.
+
+clang-tidy on a mature codebase is only useful if its warning count can
+never grow.  This tool compares a clang-tidy log against the committed
+per-check budget (tools/lint_budget.json) and fails CI on ANY increase —
+while merely nudging (not failing) when a count drops, so budgets are
+tightened deliberately via --update rather than bouncing on every run.
+
+The tool never invokes clang-tidy itself: it consumes a log (CI pipes
+`run-clang-tidy` / `clang-tidy` output in), so it runs — and self-tests —
+on machines with no clang toolchain at all.
+
+Usage:
+  clang-tidy -p build $(git ls-files 'src/*.cpp') 2>&1 | tee tidy.log
+  tidy_ratchet.py --log tidy.log                   # gate (exit 1 on increase)
+  tidy_ratchet.py --log tidy.log --update          # rewrite budget to counts
+  tidy_ratchet.py --log tidy.log --summary out.md  # markdown for CI summary
+  tidy_ratchet.py --self-test                      # canned-log regression test
+
+Budget file semantics:
+  { "seeded": bool, "budgets": { "<check-name>": max_count, ... } }
+* seeded=false (a tree that has never run clang-tidy): the gate reports
+  counts and exits 0, printing the budget JSON to commit — the first CI run
+  on a clang machine seeds the ratchet, after which it is strict.
+* seeded=true: count > budget for any check fails; a check absent from the
+  budget fails at any count (new warning kinds never ride in silently).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+WARNING_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<check>[A-Za-z0-9.,_-]+)\]\s*$")
+
+DEFAULT_BUDGET = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "lint_budget.json")
+
+
+def parse_log(lines):
+    """Per-check warning counts.  A diagnostic tagged with several checks
+    ([a,b]) counts once per check.  Duplicate (file, line, check) entries —
+    headers reported from many TUs — are deduplicated, mirroring what a
+    human reviewing the log would count."""
+    counts = {}
+    seen = set()
+    for line in lines:
+        m = WARNING_RE.match(line.rstrip("\n"))
+        if not m:
+            continue
+        for check in m.group("check").split(","):
+            key = (m.group("path"), m.group("line"), check)
+            if key in seen:
+                continue
+            seen.add(key)
+            counts[check] = counts.get(check, 0) + 1
+    return counts
+
+
+def load_budget(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return bool(data.get("seeded", False)), dict(data.get("budgets", {}))
+
+
+def write_budget(path, counts):
+    data = {
+        "_comment": [
+            "Ratcheted clang-tidy budget (tools/tidy_ratchet.py).",
+            "CI fails when any check exceeds its budget or a new check",
+            "appears.  Regenerate with: tidy_ratchet.py --log <log> --update",
+            "— only commit a regeneration that LOWERS numbers; raising one",
+            "needs the same scrutiny as deleting a failing test.",
+        ],
+        "seeded": True,
+        "budgets": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+
+
+def compare(counts, budgets, seeded):
+    """Returns (failures, improvements, rows) where rows drive the report."""
+    failures, improvements, rows = [], [], []
+    for check in sorted(set(counts) | set(budgets)):
+        have = counts.get(check, 0)
+        cap = budgets.get(check)
+        if not seeded:
+            rows.append((check, have, "-", "unseeded"))
+            continue
+        if cap is None:
+            failures.append(f"{check}: {have} warning(s), not in budget "
+                            "(new check kinds must land at zero or be "
+                            "budgeted explicitly)")
+            rows.append((check, have, 0, "FAIL (unbudgeted)"))
+        elif have > cap:
+            failures.append(f"{check}: {have} > budget {cap}")
+            rows.append((check, have, cap, "FAIL"))
+        elif have < cap:
+            improvements.append(f"{check}: {have} < budget {cap} — run "
+                                "--update to ratchet down")
+            rows.append((check, have, cap, "ok (can tighten)"))
+        else:
+            rows.append((check, have, cap, "ok"))
+    return failures, improvements, rows
+
+
+def emit_summary(path, rows, failures, seeded):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("### clang-tidy ratchet\n\n")
+        if not seeded:
+            f.write("Budget is **unseeded** — counts below are "
+                    "informational.  Commit the `--update` output to arm "
+                    "the gate.\n\n")
+        f.write("| check | count | budget | status |\n")
+        f.write("|---|---:|---:|---|\n")
+        for check, have, cap, status in rows:
+            f.write(f"| `{check}` | {have} | {cap} | {status} |\n")
+        if not rows:
+            f.write("| _no warnings_ | 0 | - | ok |\n")
+        f.write(f"\n**{'FAIL' if failures else 'PASS'}**"
+                f"{': ' + '; '.join(failures) if failures else ''}\n")
+
+
+SELF_TEST_LOG = """\
+src/env.cpp:10:5: warning: branch clone [bugprone-branch-clone]
+src/env.cpp:20:9: warning: inefficient vector op [performance-inefficient-vector-operation]
+src/env.cpp:20:9: warning: inefficient vector op [performance-inefficient-vector-operation]
+include/qc/core/run_merge.hpp:50:3: warning: narrowing [bugprone-narrowing-conversions]
+include/qc/core/run_merge.hpp:50:3: warning: narrowing [bugprone-narrowing-conversions]
+include/qc/core/run_merge.hpp:61:3: warning: narrowing [bugprone-narrowing-conversions]
+random prose the parser must ignore
+/abs/path/other.cpp:7:1: warning: two tags [bugprone-branch-clone,performance-no-int-to-ptr]
+"""
+
+
+def self_test():
+    counts = parse_log(SELF_TEST_LOG.splitlines())
+    want = {
+        # env.cpp:20 deduplicates (same file/line/check twice); run_merge:50
+        # deduplicates, :61 is distinct; the two-tag line counts once each.
+        "bugprone-branch-clone": 2,
+        "performance-inefficient-vector-operation": 1,
+        "bugprone-narrowing-conversions": 2,
+        "performance-no-int-to-ptr": 1,
+    }
+    assert counts == want, f"parse mismatch: {counts} != {want}"
+
+    budgets = dict(want)
+    f, imp, _ = compare(counts, budgets, seeded=True)
+    assert not f and not imp, "equal counts must pass with no nudges"
+
+    budgets["bugprone-branch-clone"] = 1  # one fewer allowed than present
+    f, _, _ = compare(counts, budgets, seeded=True)
+    assert any("bugprone-branch-clone" in x for x in f), \
+        "an increase over budget must fail"
+
+    budgets["bugprone-branch-clone"] = 5  # head is better than budget
+    f, imp, _ = compare(counts, budgets, seeded=True)
+    assert not f and any("ratchet down" in x for x in imp), \
+        "a decrease must pass but nudge toward --update"
+
+    del budgets["performance-no-int-to-ptr"]  # check unknown to the budget
+    f, _, _ = compare(counts, budgets, seeded=True)
+    assert any("not in budget" in x for x in f), \
+        "an unbudgeted check must fail at any count"
+
+    f, _, _ = compare(counts, {}, seeded=False)
+    assert not f, "an unseeded budget must never fail the gate"
+
+    print("tidy_ratchet self-test: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--log", help="clang-tidy output to parse")
+    ap.add_argument("--budget", default=DEFAULT_BUDGET)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the budget to the current counts")
+    ap.add_argument("--summary", help="write a markdown summary here "
+                                      "(e.g. $GITHUB_STEP_SUMMARY)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.log:
+        ap.error("--log is required (or use --self-test)")
+
+    with open(args.log, encoding="utf-8", errors="replace") as f:
+        counts = parse_log(f)
+    seeded, budgets = load_budget(args.budget)
+
+    if args.update:
+        write_budget(args.budget, counts)
+        print(f"budget updated: {sum(counts.values())} warning(s) across "
+              f"{len(counts)} check(s) -> {args.budget}")
+        return 0
+
+    failures, improvements, rows = compare(counts, budgets, seeded)
+    if args.summary:
+        emit_summary(args.summary, rows, failures, seeded)
+    for check, have, cap, status in rows:
+        print(f"  {check}: {have} (budget {cap}) {status}")
+    for msg in improvements:
+        print(f"note: {msg}")
+    if not seeded:
+        print("tidy-ratchet: budget unseeded; counts are informational. "
+              "To arm the gate, commit the output of --update:")
+        print(json.dumps({"seeded": True,
+                          "budgets": dict(sorted(counts.items()))},
+                         indent=2))
+        return 0
+    if failures:
+        print("tidy-ratchet: FAIL")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print(f"tidy-ratchet: PASS ({sum(counts.values())} warning(s) within "
+          "budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
